@@ -1,0 +1,119 @@
+// Command sbx-run executes one of the paper's benchmark pipelines on
+// the simulated hybrid-memory machine and prints a run report.
+//
+//	sbx-run -pipeline ysb -rate 30e6 -cores 64 -duration 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"streambox/internal/engine"
+	"streambox/internal/experiments"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+func main() {
+	pipeline := flag.String("pipeline", "ysb", "pipeline: ysb|topk|sum|median|avg|avgall|unique|join|winfilter|powergrid")
+	rate := flag.Float64("rate", 20e6, "offered load, records/second")
+	cores := flag.Int("cores", 64, "simulated cores")
+	duration := flag.Float64("duration", 2.0, "virtual seconds")
+	placement := flag.String("placement", "managed", "KPA placement: managed|dram|cache")
+	noKPA := flag.Bool("nokpa", false, "group full records instead of KPAs")
+	rdma := flag.Bool("rdma", true, "RDMA ingress (false: 10 GbE)")
+	list := flag.Bool("list", false, "list pipelines and exit")
+	flag.Parse()
+
+	workloads := map[string]experiments.Workload{
+		"ysb":       experiments.YSBWorkload(),
+		"topk":      experiments.TopKPerKey(),
+		"sum":       experiments.WindowedSumPerKey(),
+		"median":    experiments.WindowedMedianPerKey(),
+		"avg":       experiments.WindowedAvgPerKey(),
+		"avgall":    experiments.WindowedAvgAll(),
+		"unique":    experiments.UniqueCountPerKey(),
+		"join":      experiments.TemporalJoin(),
+		"winfilter": experiments.WindowedFilter(),
+		"powergrid": experiments.PowerGrid(),
+	}
+	if *list {
+		var names []string
+		for n := range workloads {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	w, ok := workloads[*pipeline]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown pipeline %q (use -list)\n", *pipeline)
+		os.Exit(2)
+	}
+
+	machine := memsim.KNLConfig().WithCores(*cores)
+	cfg := engine.Config{
+		Machine:      machine,
+		Win:          wm.Fixed(experiments.WindowSize),
+		UseKPA:       !*noKPA,
+		RecordWeight: 100,
+	}
+	switch *placement {
+	case "managed":
+		cfg.Placement = engine.PlacementManaged
+	case "dram":
+		cfg.Placement = engine.PlacementDRAM
+	case "cache":
+		cfg.Placement = engine.PlacementCache
+	default:
+		fmt.Fprintf(os.Stderr, "unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slots := w.Build(e)
+	nic := machine.RDMABW
+	if !*rdma {
+		nic = machine.EthBW
+	}
+	for i, s := range slots {
+		scfg := engine.SourceConfig{
+			Name:           fmt.Sprintf("%s-%d", w.Name, i),
+			Rate:           *rate / float64(len(slots)),
+			NICBandwidth:   nic / float64(len(slots)),
+			BundleRecords:  1000,
+			WindowRecords:  1_000_000,
+			WatermarkEvery: 10,
+		}
+		if _, err := e.AddSource(s.Gen, scfg, s.Entry, s.Port); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	stats, err := e.Run(*duration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline error:", err)
+		os.Exit(1)
+	}
+	elapsed := e.Sim.Now()
+	fmt.Printf("pipeline:   %s (%d cores, %s placement, KPA=%v)\n", w.Name, *cores, *placement, !*noKPA)
+	fmt.Printf("ingested:   %d records in %.2f virtual s (%.1f M rec/s)\n",
+		stats.IngestedRecords, elapsed, float64(stats.IngestedRecords)/elapsed/1e6)
+	fmt.Printf("results:    %d records, %d windows closed\n", stats.EmittedRecords, stats.WindowsClosed)
+	fmt.Printf("delay:      avg %.0f ms, max %.0f ms (target 1000 ms)\n",
+		stats.AvgDelay()*1000, stats.MaxDelay()*1000)
+	fmt.Printf("bandwidth:  peak HBM %.0f GB/s, peak DRAM %.0f GB/s\n",
+		e.Sim.PeakBW(memsim.HBM)/1e9, e.Sim.PeakBW(memsim.DRAM)/1e9)
+	fmt.Printf("knob:       k_low=%.2f k_high=%.2f\n", e.Knob().KLow, e.Knob().KHigh)
+	fmt.Printf("HBM used:   %.2f GB of %.0f GB\n",
+		float64(e.Pool.Used(memsim.HBM))/float64(1<<30),
+		float64(e.Pool.Capacity(memsim.HBM))/float64(1<<30))
+}

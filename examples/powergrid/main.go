@@ -1,0 +1,51 @@
+// Power Grid: the DEBS 2014 grand-challenge pipeline (paper benchmark
+// 9) — per window, find the houses with the most smart plugs whose
+// average load exceeds the global average.
+//
+//	go run ./examples/powergrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	streambox "streambox"
+)
+
+func main() {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	src := streambox.SourceConfig{
+		Name:           "plugs",
+		Rate:           10e6,
+		NICBandwidth:   5e9,
+		BundleRecords:  10_000,
+		WindowRecords:  500_000,
+		WatermarkEvery: 50,
+	}
+	results := p.Source(streambox.PowerGridSource(streambox.PowerGridConfig{
+		Houses:  40,
+		HotFrac: 0.1,
+		Seed:    3,
+	}), src).
+		Window(2).
+		PowerGrid().
+		Capture()
+
+	report, err := streambox.Run(p, streambox.RunConfig{Duration: 2.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("power grid: %.1f M samples/s, %d windows closed\n",
+		report.Throughput/1e6, report.WindowsClosed)
+	fmt.Println("houses with the most high-power plugs:")
+	seen := map[uint64]bool{}
+	for _, r := range results.Rows {
+		if seen[r.Win] {
+			continue
+		}
+		seen[r.Win] = true
+		fmt.Printf("  window@%d: house %d with %d plugs above the global average\n",
+			r.Win, r.Key, r.Val)
+	}
+}

@@ -1,0 +1,68 @@
+// YSB: the Yahoo streaming benchmark (paper Figure 1a) — filter ad
+// views, join ad IDs against the campaign side table held in HBM, and
+// count events per campaign per 1-second window.
+//
+//	go run ./examples/ysb
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	streambox "streambox"
+	"streambox/internal/ingress"
+)
+
+func main() {
+	gen := streambox.YSB(streambox.YSBConfig{Ads: 1000, Campaigns: 100, Seed: 7})
+
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	src := streambox.SourceConfig{
+		Name:           "ysb",
+		Rate:           30e6,
+		NICBandwidth:   5e9, // 40 Gb/s RDMA
+		BundleRecords:  10_000,
+		WindowRecords:  1_000_000,
+		WatermarkEvery: 100,
+	}
+	results := p.Source(gen, src).
+		Filter("views", ingress.YSBEventType, func(v uint64) bool { return v == ingress.YSBEventView }).
+		Project(ingress.YSBAdID, ingress.YSBEventTime).
+		ExternalJoin("campaigns", ingress.YSBAdID, gen.CampaignTable()).
+		Window(ingress.YSBEventTime).
+		CountPerKey(ingress.YSBAdID).
+		Capture()
+
+	report, err := streambox.Run(p, streambox.RunConfig{Duration: 2.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("YSB: %.1f M rec/s ingested, %d windows, avg delay %.0f ms\n",
+		report.Throughput/1e6, report.WindowsClosed, report.AvgDelay*1000)
+
+	// Top campaigns of the first closed window.
+	byWin := map[uint64][]row{}
+	for _, r := range results.Rows {
+		byWin[r.Win] = append(byWin[r.Win], row{r.Key, r.Val})
+	}
+	var wins []uint64
+	for w := range byWin {
+		wins = append(wins, w)
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i] < wins[j] })
+	if len(wins) > 0 {
+		rows := byWin[wins[0]]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
+		fmt.Printf("window@%d: top campaigns by views\n", wins[0])
+		for i := 0; i < 5 && i < len(rows); i++ {
+			fmt.Printf("  campaign %3d: %d views\n", rows[i].campaign, rows[i].count)
+		}
+	}
+}
+
+type row struct {
+	campaign uint64
+	count    uint64
+}

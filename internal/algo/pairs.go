@@ -1,0 +1,52 @@
+// Package algo implements the streaming algorithm library of the paper
+// (§4.2): sequential-access parallel merge-sort, merge and join kernels
+// over 16-byte key/pointer pairs, plus the open-addressing hash table
+// used as the DRAM-era baseline and as the external-join side table.
+//
+// All kernels are real implementations operating on real data; the
+// engine charges their virtual cost through memsim demand profiles.
+package algo
+
+// Pair is one KPA element: a 64-bit resident key and a 64-bit pointer.
+// The pointer payload is opaque to this package; the kpa package packs
+// (bundle ID, row) into it.
+type Pair struct {
+	Key uint64
+	Ptr uint64
+}
+
+// PairsSorted reports whether pairs is non-decreasing by key.
+func PairsSorted(pairs []Pair) bool {
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Key > pairs[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys copies the key column out of pairs (testing helper).
+func Keys(pairs []Pair) []uint64 {
+	out := make([]uint64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Key
+	}
+	return out
+}
+
+// MinMaxKey returns the key range; ok is false for empty input.
+func MinMaxKey(pairs []Pair) (min, max uint64, ok bool) {
+	if len(pairs) == 0 {
+		return 0, 0, false
+	}
+	min, max = pairs[0].Key, pairs[0].Key
+	for _, p := range pairs[1:] {
+		if p.Key < min {
+			min = p.Key
+		}
+		if p.Key > max {
+			max = p.Key
+		}
+	}
+	return min, max, true
+}

@@ -1,0 +1,189 @@
+package algo
+
+import (
+	"sort"
+	"sync"
+)
+
+// blockPairs is the run length sorted in cache before merging, standing
+// in for the paper's 64-element AVX-512 bitonic blocks (scaled up for a
+// scalar implementation).
+const blockPairs = 1 << 12
+
+// SortPairs sorts pairs in place by key (stable order of equal keys is
+// not guaranteed). It is the single-threaded kernel: blocked runs are
+// formed in cache and then merged, mirroring the paper's chunk sort.
+func SortPairs(pairs []Pair) {
+	n := len(pairs)
+	if n <= 1 {
+		return
+	}
+	if n <= blockPairs {
+		sortRun(pairs)
+		return
+	}
+	// Sort cache-sized blocks, then bottom-up merge with a scratch buffer.
+	for lo := 0; lo < n; lo += blockPairs {
+		hi := lo + blockPairs
+		if hi > n {
+			hi = n
+		}
+		sortRun(pairs[lo:hi])
+	}
+	scratch := make([]Pair, n)
+	src, dst := pairs, scratch
+	for width := blockPairs; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}
+
+// sortRun sorts a short run (insertion sort for tiny runs, pattern-
+// defeating stdlib sort otherwise).
+func sortRun(run []Pair) {
+	if len(run) <= 24 {
+		for i := 1; i < len(run); i++ {
+			p := run[i]
+			j := i - 1
+			for j >= 0 && run[j].Key > p.Key {
+				run[j+1] = run[j]
+				j--
+			}
+			run[j+1] = p
+		}
+		return
+	}
+	sort.Slice(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+}
+
+// mergeRuns merges sorted a and b into dst; len(dst) == len(a)+len(b).
+func mergeRuns(dst, a, b []Pair) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Key <= b[j].Key {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// ParallelSortPairs sorts pairs in place using up to workers goroutines:
+// the input is split into chunks sorted concurrently, which are then
+// pairwise-merged, the paper's §4.2 structure. It is used by the real-
+// parallel kernel benchmarks and the examples; inside the simulator the
+// engine instead expresses the same structure as separate tasks.
+func ParallelSortPairs(pairs []Pair, workers int) {
+	n := len(pairs)
+	if workers <= 1 || n <= 2*blockPairs {
+		SortPairs(pairs)
+		return
+	}
+	chunks := workers
+	if chunks > (n+blockPairs-1)/blockPairs {
+		chunks = (n + blockPairs - 1) / blockPairs
+	}
+	bounds := make([]int, chunks+1)
+	for i := 0; i <= chunks; i++ {
+		bounds[i] = i * n / chunks
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < chunks; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			SortPairs(pairs[lo:hi])
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+
+	// Pairwise parallel merges until one run remains.
+	scratch := make([]Pair, n)
+	src, dst := pairs, scratch
+	runs := bounds
+	for len(runs) > 2 {
+		next := []int{0}
+		var mg sync.WaitGroup
+		for i := 0; i+2 < len(runs); i += 2 {
+			lo, mid, hi := runs[i], runs[i+1], runs[i+2]
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+			next = append(next, hi)
+		}
+		if (len(runs)-1)%2 == 1 { // odd run left over: copy through
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			next = append(next, hi)
+		}
+		mg.Wait()
+		src, dst = dst, src
+		runs = next
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}
+
+// MergePairs merges two sorted pair slices into a newly allocated sorted
+// slice.
+func MergePairs(a, b []Pair) []Pair {
+	out := make([]Pair, len(a)+len(b))
+	mergeRuns(out, a, b)
+	return out
+}
+
+// MergeInto merges sorted a and b into dst, which must have length
+// len(a)+len(b).
+func MergeInto(dst, a, b []Pair) {
+	if len(dst) != len(a)+len(b) {
+		panic("algo: MergeInto destination has wrong length")
+	}
+	mergeRuns(dst, a, b)
+}
+
+// MultiMerge merges k sorted runs into one sorted slice by repeated
+// pairwise merging (the shape the engine schedules as parallel tasks).
+func MultiMerge(runs [][]Pair) []Pair {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]Pair, len(runs[0]))
+		copy(out, runs[0])
+		return out
+	}
+	work := make([][]Pair, len(runs))
+	copy(work, runs)
+	for len(work) > 1 {
+		var next [][]Pair
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, MergePairs(work[i], work[i+1]))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}

@@ -1,0 +1,6 @@
+package baseline
+
+import "streambox/internal/bundle"
+
+// resultSchema matches ops.ResultSchema: (key, value, ts).
+var resultSchema = bundle.Schema{NumCols: 3, TsCol: 2, Names: []string{"key", "value", "ts"}}

@@ -1,0 +1,68 @@
+package bundle
+
+import (
+	"fmt"
+	"sync"
+
+	"streambox/internal/memsim"
+)
+
+// Registry assigns 32-bit bundle IDs and resolves them back to live
+// bundles. KPA pointers pack (bundle ID, row) into 64 bits, so a
+// process-wide ID space makes pointers meaningful across KPA merges
+// without remapping — the role virtual addresses play in the paper's
+// C++ implementation.
+type Registry struct {
+	mu   sync.Mutex
+	next uint32
+	m    map[uint32]*Bundle
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[uint32]*Bundle)}
+}
+
+// NewBuilder starts a bundle with a fresh registry-assigned ID. The
+// bundle is registered when sealed and unregistered when its reference
+// count drops to zero.
+func (r *Registry) NewBuilder(schema Schema, capacity int, tier memsim.Tier) (*Builder, error) {
+	r.mu.Lock()
+	r.next++
+	id := r.next
+	r.mu.Unlock()
+	bd, err := NewBuilder(uint64(id), schema, capacity, tier)
+	if err != nil {
+		return nil, err
+	}
+	bd.reg = r
+	return bd, nil
+}
+
+// Lookup resolves a bundle ID; nil if unknown or reclaimed.
+func (r *Registry) Lookup(id uint32) *Bundle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[id]
+}
+
+// Live returns the number of registered bundles.
+func (r *Registry) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+func (r *Registry) register(b *Bundle) {
+	if b.id > 0xFFFFFFFF {
+		panic(fmt.Sprintf("bundle: id %d exceeds 32-bit pointer space", b.id))
+	}
+	r.mu.Lock()
+	r.m[uint32(b.id)] = b
+	r.mu.Unlock()
+	b.AddOnFree(func(bb *Bundle) {
+		r.mu.Lock()
+		delete(r.m, uint32(bb.id))
+		r.mu.Unlock()
+	})
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"streambox/internal/bundle"
+	"streambox/internal/memsim"
+)
+
+// GroupDemand adjusts a grouping primitive's demand for the engine's
+// data representation: with KPA extraction the demand stands as built
+// (16-byte pairs); in the NoKPA ablation grouping moves full records,
+// so every memory phase scales by the record width (paper §7.3:
+// "the performance bottleneck is excessive data movement due to
+// migration and grouping full records").
+func (c *Ctx) GroupDemand(d memsim.Demand, schema bundle.Schema) memsim.Demand {
+	if c.e.cfg.UseKPA {
+		return d
+	}
+	scale := float64(schema.RecordBytes()) / float64(memsim.PairBytes)
+	if scale < 1 {
+		scale = 1
+	}
+	out := memsim.Demand{}
+	out.Phases = make([]memsim.Phase, len(d.Phases))
+	for i, p := range d.Phases {
+		if p.Bytes > 0 {
+			p.Bytes = int64(float64(p.Bytes) * scale)
+			// Grouping full multi-column records also loses the dense
+			// sequential access of 16-byte pairs: the moved elements
+			// span multiple cachelines and the hardware migrates full
+			// records between tiers (§7.3: "excessive data movement due
+			// to migration and grouping full records").
+			if p.Pattern == memsim.Sequential {
+				p.Pattern = memsim.Random
+				p.MLP = 4
+			}
+		}
+		out.Phases[i] = p
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"streambox/internal/wm"
+)
+
+// downstreamRef is one edge of the pipeline graph.
+type downstreamRef struct {
+	n    *Node
+	port int
+}
+
+// epoch is the unit of watermark ordering on a node: all tasks spawned
+// between two watermark arrivals belong to one epoch. A watermark is
+// processed once every earlier task drained, and forwarded downstream
+// once its own window-closing tasks drained too. This lets watermarks
+// traverse a continuously loaded pipeline (out-of-order bundle
+// processing with ordered window closure, as in StreamBox).
+type epoch struct {
+	inflight  int
+	w         wm.Time
+	sealed    bool
+	processed bool
+	forwarded bool
+}
+
+// node wraps an operator with the engine's plumbing: downstream edges,
+// per-port watermark merging, and epoch tracking.
+type Node struct {
+	id   int
+	op   Operator
+	ctx  *Ctx
+	down [][]downstreamRef // per output port
+
+	tracker  *wm.Tracker
+	lastSeen wm.Time
+	epochs   []*epoch
+	// spawnCtx, when set, attributes new tasks to a specific epoch
+	// (continuations of a completing task, or window-closing work
+	// spawned during OnWatermark). Otherwise tasks join the open epoch.
+	spawnCtx *epoch
+}
+
+func newNode(id int, op Operator, e *Engine) *Node {
+	n := &Node{
+		id:      id,
+		op:      op,
+		tracker: wm.NewTracker(op.InPorts()),
+		epochs:  []*epoch{{}},
+	}
+	n.ctx = &Ctx{e: e, node: n}
+	return n
+}
+
+// ensurePort grows the downstream table to cover output port p.
+func (n *Node) ensurePort(p int) {
+	for len(n.down) <= p {
+		n.down = append(n.down, nil)
+	}
+}
+
+// spawnEpoch returns the epoch new tasks should join.
+func (n *Node) spawnEpoch() *epoch {
+	if n.spawnCtx != nil {
+		return n.spawnCtx
+	}
+	return n.epochs[len(n.epochs)-1]
+}
+
+// onUpstreamWM merges a watermark arriving on an input port; a merged
+// advance seals the open epoch and opens a fresh one.
+func (n *Node) onUpstreamWM(e *Engine, port int, w wm.Time) {
+	merged := n.tracker.Advance(port, w)
+	if merged > n.lastSeen {
+		n.lastSeen = merged
+		open := n.epochs[len(n.epochs)-1]
+		open.w = merged
+		open.sealed = true
+		n.epochs = append(n.epochs, &epoch{})
+	}
+	n.advance(e)
+}
+
+// advance drives the epoch queue: the front epoch's watermark is
+// processed when its tasks drain, and forwarded when the processing
+// tasks drain, unblocking the next epoch.
+func (n *Node) advance(e *Engine) {
+	for len(n.epochs) > 0 {
+		front := n.epochs[0]
+		if front.inflight > 0 {
+			return
+		}
+		if !front.sealed {
+			return // open epoch: nothing to close yet
+		}
+		if !front.processed {
+			front.processed = true
+			prev := n.spawnCtx
+			n.spawnCtx = front
+			n.op.OnWatermark(n.ctx, 0, front.w)
+			n.spawnCtx = prev
+			if front.inflight > 0 {
+				return // window-closing tasks must drain first
+			}
+		}
+		if !front.forwarded {
+			front.forwarded = true
+			for _, port := range n.down {
+				for _, d := range port {
+					d.n.onUpstreamWM(e, d.port, front.w)
+				}
+			}
+		}
+		n.epochs = n.epochs[1:]
+	}
+}

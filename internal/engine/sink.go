@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"streambox/internal/wm"
+)
+
+// EgressSink terminates a pipeline: it counts emitted result records
+// and measures output delay — the virtual time between a watermark's
+// emission at the source and its arrival here, after all window-closing
+// work upstream has drained (paper §6: "target egress delay").
+type EgressSink struct {
+	name    string
+	Records int64
+	Bundles int64
+	// LastWatermark is the newest watermark observed.
+	LastWatermark wm.Time
+}
+
+// NewEgressSink creates a sink.
+func NewEgressSink(name string) *EgressSink { return &EgressSink{name: name} }
+
+// Name implements Operator.
+func (s *EgressSink) Name() string { return "egress:" + s.name }
+
+// InPorts implements Operator.
+func (s *EgressSink) InPorts() int { return 1 }
+
+// OnInput counts and releases results.
+func (s *EgressSink) OnInput(ctx *Ctx, port int, in Input) {
+	s.Records += int64(in.Rows())
+	s.Bundles++
+	ctx.e.stats.EmittedRecords += int64(in.Rows())
+	in.Release()
+}
+
+// OnWatermark records the output delay for the windows this watermark
+// closes.
+func (s *EgressSink) OnWatermark(ctx *Ctx, port int, w wm.Time) {
+	if w <= s.LastWatermark {
+		return
+	}
+	s.LastWatermark = w
+	ctx.e.SinkWatermark(w, ctx.Now())
+}

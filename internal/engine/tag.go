@@ -1,0 +1,60 @@
+// Package engine implements the StreamBox-HBM runtime (paper §3 and §5):
+// it executes operator pipelines over the hybrid-memory simulator,
+// creating data and pipeline parallelism from bundles and KPAs, tagging
+// tasks by performance impact, and balancing HBM capacity against DRAM
+// bandwidth with the demand-balance knob.
+package engine
+
+import "streambox/internal/wm"
+
+// Tag is a coarse performance-impact class (paper §5): Urgent tasks sit
+// on the critical path of pipeline output; High tasks belong to windows
+// externalized in the near future; Low tasks to windows far out.
+type Tag int
+
+const (
+	// Low tags tasks on young windows, externalized far in the future.
+	Low Tag = iota
+	// High tags tasks whose windows close within the next few windows.
+	High
+	// Urgent tags tasks on the critical path: windows at or past the
+	// target watermark.
+	Urgent
+)
+
+// String returns the tag name.
+func (t Tag) String() string {
+	switch t {
+	case Urgent:
+		return "Urgent"
+	case High:
+		return "High"
+	default:
+		return "Low"
+	}
+}
+
+// Priority maps the tag onto the simulator's dispatch priority.
+func (t Tag) Priority() int { return int(t) }
+
+// highSlackWindows is how many windows ahead of the target watermark
+// still count as High ("externalized in the near future, say one or two
+// windows in the future", paper §5).
+const highSlackWindows = 2
+
+// tagFor classifies a task operating on data with representative event
+// time ts, given the target watermark and windowing. Records at or
+// behind the target watermark are on the critical path.
+func tagFor(w wm.Windowing, target, ts wm.Time) Tag {
+	if w.Validate() != nil {
+		return Low
+	}
+	winEnd := w.End(w.WindowOf(ts))
+	if winEnd <= target+w.Size {
+		return Urgent
+	}
+	if winEnd <= target+(highSlackWindows+1)*w.Size {
+		return High
+	}
+	return Low
+}

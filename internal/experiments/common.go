@@ -1,0 +1,207 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (§7): Fig 2 (GroupBy sort vs hash on HBM vs DRAM), Fig 7
+// (YSB vs Flink), Fig 8 (nine benchmark pipelines), Fig 9 (placement
+// ablations), Fig 10 (dynamic demand balancing) and Fig 11 (ingestion
+// parsing formats). Each FigN function returns typed rows and can
+// render a table in the shape the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"streambox/internal/engine"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// PaperCores are the x-axis core counts of Figures 2 and 7-9.
+var PaperCores = []int{2, 16, 32, 48, 64}
+
+// Scale controls experiment fidelity versus wall-clock cost through
+// specimen scaling (engine.Config.RecordWeight).
+type Scale struct {
+	// WindowRecords is the virtual records per window (paper: 10 M).
+	WindowRecords int64
+	// BundleRecords is the virtual records per ingested bundle.
+	BundleRecords int64
+	// Specimen is the record weight: real records per virtual record.
+	Specimen int64
+	// Duration is the virtual run length per probe, seconds.
+	Duration float64
+	// SearchIters bounds the max-throughput bisection.
+	SearchIters int
+}
+
+// PaperScale approximates the paper's workload sizes (10 M-record
+// windows) with 1:1000 specimen scaling.
+func PaperScale() Scale {
+	return Scale{
+		WindowRecords: 10_000_000,
+		BundleRecords: 100_000,
+		Specimen:      1000,
+		Duration:      0.35,
+		SearchIters:   5,
+	}
+}
+
+// QuickScale is a fast smoke-test scale for unit tests and -short runs.
+func QuickScale() Scale {
+	return Scale{
+		WindowRecords: 1_000_000,
+		BundleRecords: 50_000,
+		Specimen:      500,
+		Duration:      0.25,
+		SearchIters:   3,
+	}
+}
+
+// WindowSize is the event-time window span (1 virtual second).
+const WindowSize wm.Time = 1_000_000
+
+// TargetDelay is the output-delay objective (paper: 1 second).
+const TargetDelay = 1.0
+
+// SourceSlot names one ingress attachment point of a workload.
+type SourceSlot struct {
+	Gen   engine.Generator
+	Entry *engine.Node
+	Port  int
+}
+
+// Workload wires a pipeline into an engine and reports where sources
+// attach.
+type Workload struct {
+	Name  string
+	Build func(e *engine.Engine) []SourceSlot
+}
+
+// srcConfig builds the per-source configuration for an offered total
+// rate split across nsrc sources.
+func srcConfig(name string, rate, nic float64, nsrc int, sc Scale) engine.SourceConfig {
+	return engine.SourceConfig{
+		Name:           name,
+		Rate:           rate / float64(nsrc),
+		NICBandwidth:   nic / float64(nsrc),
+		BundleRecords:  int(sc.BundleRecords / sc.Specimen),
+		WindowRecords:  int(sc.WindowRecords),
+		WatermarkEvery: int(sc.WindowRecords / sc.BundleRecords),
+	}
+}
+
+// RunResult summarises one engine run.
+type RunResult struct {
+	Rate      float64 // offered records/s
+	Ingested  int64
+	AvgDelay  float64
+	MaxDelay  float64
+	PeakHBM   float64 // bytes/s
+	PeakDRAM  float64 // bytes/s
+	Windows   int
+	Sustained bool
+	Err       error
+}
+
+// runOnce executes workload w at the offered rate on cfg's machine.
+// The virtual duration stretches at low rates so at least four windows
+// close per probe (wall-clock cost stays constant: records processed =
+// rate x duration).
+func runOnce(cfg engine.Config, w Workload, rate, nic float64, sc Scale) RunResult {
+	cfg.Win = wm.Fixed(WindowSize)
+	cfg.TargetDelaySec = TargetDelay
+	cfg.RecordWeight = sc.Specimen
+	e, err := engine.New(cfg)
+	if err != nil {
+		return RunResult{Err: err}
+	}
+	slots := w.Build(e)
+	for i, s := range slots {
+		scfg := srcConfig(fmt.Sprintf("%s-%d", w.Name, i), rate, nic, len(slots), sc)
+		if _, err := e.AddSource(s.Gen, scfg, s.Entry, s.Port); err != nil {
+			return RunResult{Err: err}
+		}
+	}
+	// Each source runs at rate/nsrc and fills its windows accordingly:
+	// stretch the run so at least four windows close per source.
+	duration := sc.Duration
+	if min := 4 * float64(sc.WindowRecords) * float64(len(slots)) / rate; min > duration {
+		duration = min
+	}
+	stats, err := e.Run(duration)
+	res := RunResult{
+		Rate:     rate,
+		Ingested: stats.IngestedRecords,
+		AvgDelay: stats.AvgDelay(),
+		MaxDelay: stats.MaxDelay(),
+		PeakHBM:  e.Sim.PeakBW(memsim.HBM),
+		PeakDRAM: e.Sim.PeakBW(memsim.DRAM),
+		Windows:  stats.WindowsClosed,
+		Err:      err,
+	}
+	// Sustained: windows close on time and ingestion kept up with the
+	// offered rate (no back-pressure collapse).
+	offered := rate * duration
+	res.Sustained = err == nil &&
+		res.Windows >= 2 &&
+		res.AvgDelay <= TargetDelay &&
+		res.MaxDelay <= 2*TargetDelay &&
+		float64(res.Ingested) >= 0.93*offered
+	return res
+}
+
+// MaxThroughput searches for the highest offered rate the
+// configuration sustains under the target delay (the quantity Figures
+// 7-9 plot). Returns the best sustained run.
+func MaxThroughput(cfg engine.Config, w Workload, nic float64, sc Scale) RunResult {
+	lo := 1e6
+	loRes := runOnce(cfg, w, lo, nic, sc)
+	if !loRes.Sustained {
+		return loRes // cannot sustain even 1 M rec/s
+	}
+	hi := lo
+	var hiRes RunResult
+	for i := 0; i < 12; i++ {
+		hi *= 2
+		hiRes = runOnce(cfg, w, hi, nic, sc)
+		if !hiRes.Sustained {
+			break
+		}
+		lo, loRes = hi, hiRes
+		if hi > 1e9 {
+			return loRes
+		}
+	}
+	for i := 0; i < sc.SearchIters; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection
+		midRes := runOnce(cfg, w, mid, nic, sc)
+		if midRes.Sustained {
+			lo, loRes = mid, midRes
+		} else {
+			hi = mid
+		}
+	}
+	return loRes
+}
+
+// sbxConfig is the StreamBox-HBM engine configuration on a machine
+// restricted to the given cores.
+func sbxConfig(machine memsim.Config, cores int, seed int64) engine.Config {
+	return engine.Config{
+		Machine: machine.WithCores(cores),
+		UseKPA:  true,
+		Seed:    seed,
+	}
+}
+
+// header prints a table header line.
+func header(out io.Writer, title string, cols ...string) {
+	fmt.Fprintf(out, "\n%s\n", title)
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(out, "\t")
+		}
+		fmt.Fprint(out, c)
+	}
+	fmt.Fprintln(out)
+}

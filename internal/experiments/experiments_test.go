@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"streambox/internal/memsim"
+)
+
+// tinyScale keeps experiment smoke tests fast.
+func tinyScale() Scale {
+	return Scale{
+		WindowRecords: 200_000,
+		BundleRecords: 20_000,
+		Specimen:      200,
+		Duration:      0.2,
+		SearchIters:   2,
+	}
+}
+
+func fig2At(rows []Fig2Row, config string, cores int) Fig2Row {
+	for _, r := range rows {
+		if r.Config == config && r.Cores == cores {
+			return r
+		}
+	}
+	return Fig2Row{}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	rows := Fig2(Fig2Config{Pairs: 10_000_000, Cores: []int{2, 16, 64}})
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	// Paper claim 1: Sort achieves the highest throughput and bandwidth
+	// when all cores participate, on HBM.
+	hbmSort64 := fig2At(rows, "HBM Sort", 64)
+	for _, r := range rows {
+		if r.Cores == 64 && r.MPairsSec > hbmSort64.MPairsSec {
+			t.Errorf("%s (%f) beats HBM Sort (%f) at 64 cores", r.Config, r.MPairsSec, hbmSort64.MPairsSec)
+		}
+	}
+	// Paper claim 2: Sort outperforms Hash on HBM at every core count.
+	for _, c := range []int{2, 16, 64} {
+		if fig2At(rows, "HBM Sort", c).MPairsSec <= fig2At(rows, "HBM Hash", c).MPairsSec {
+			t.Errorf("HBM Sort must beat HBM Hash at %d cores", c)
+		}
+	}
+	// Paper claim 3: on DRAM, Sort underperforms Hash at high core
+	// counts (bandwidth-bound) but not at 2 cores.
+	if fig2At(rows, "DRAM Sort", 64).MPairsSec >= fig2At(rows, "DRAM Hash", 64).MPairsSec {
+		t.Error("DRAM Hash must beat DRAM Sort at 64 cores")
+	}
+	if fig2At(rows, "DRAM Sort", 2).MPairsSec <= fig2At(rows, "DRAM Hash", 2).MPairsSec {
+		t.Error("DRAM Sort must beat DRAM Hash at 2 cores")
+	}
+	// Paper claim 4: DRAM Sort saturates DRAM bandwidth (plateaus).
+	if fig2At(rows, "DRAM Sort", 64).MPairsSec > 1.25*fig2At(rows, "DRAM Sort", 16).MPairsSec {
+		t.Error("DRAM Sort must plateau past 16 cores")
+	}
+	// Paper claim 5: Hash gains little from HBM (within ~40%).
+	h, d := fig2At(rows, "HBM Hash", 64).MPairsSec, fig2At(rows, "DRAM Hash", 64).MPairsSec
+	if h > 1.6*d {
+		t.Errorf("Hash must gain little from HBM: %f vs %f", h, d)
+	}
+	var buf bytes.Buffer
+	RenderFig2(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+}
+
+func TestFig2Defaults(t *testing.T) {
+	cfg := DefaultFig2()
+	if cfg.Pairs != 100_000_000 {
+		t.Errorf("default pairs = %d, want paper's 100M", cfg.Pairs)
+	}
+	rows := Fig2(Fig2Config{}) // zero config falls back to defaults
+	if len(rows) != 4*len(PaperCores) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Fig7(tinyScale(), []int{2, 64})
+	byKey := map[string]map[int]Fig7Row{}
+	for _, r := range rows {
+		if byKey[r.System] == nil {
+			byKey[r.System] = map[int]Fig7Row{}
+		}
+		byKey[r.System][r.Cores] = r
+	}
+	sbx := byKey["StreamBox-HBM KNL 10GbE"][64]
+	flink := byKey["Flink KNL 10GbE"][64]
+	if sbx.MRecSec <= flink.MRecSec {
+		t.Errorf("StreamBox-HBM (%f) must beat Flink (%f) on KNL 10GbE", sbx.MRecSec, flink.MRecSec)
+	}
+	rdma := byKey["StreamBox-HBM KNL RDMA"][64]
+	if rdma.MRecSec <= sbx.MRecSec {
+		t.Errorf("RDMA (%f) must beat 10GbE (%f)", rdma.MRecSec, sbx.MRecSec)
+	}
+	if ratio := Fig7PerCoreRatio(rows); ratio < 2 {
+		t.Errorf("per-core ratio = %f, expected >> 1", ratio)
+	}
+	var buf bytes.Buffer
+	RenderFig7(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+}
+
+func TestFig8AllBenchmarksRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Fig8(tinyScale(), []int{64})
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9 benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		if r.MRecSec <= 0 {
+			t.Errorf("%s: zero throughput", r.Bench)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig8(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Fig9(tinyScale(), []int{64})
+	at := map[string]float64{}
+	for _, r := range rows {
+		at[r.Variant] = r.MRecSec
+	}
+	full := at["StreamBox-HBM"]
+	if full <= 0 {
+		t.Fatal("no throughput for the full system")
+	}
+	// §7.3: the full system beats every ablation; NoKPA is the worst.
+	for _, v := range []string{"StreamBox-HBM Caching", "StreamBox-HBM DRAM", "StreamBox-HBM Caching NoKPA"} {
+		if at[v] > full {
+			t.Errorf("%s (%f) must not beat the full system (%f)", v, at[v], full)
+		}
+	}
+	if at["StreamBox-HBM Caching NoKPA"] >= at["StreamBox-HBM Caching"] {
+		t.Error("NoKPA must be the slowest variant")
+	}
+	d, c, k := Fig9Ratios(rows)
+	if d <= 0 || k <= 1 {
+		t.Errorf("ratios: dram=%f caching=%f nokpa=%f", d, c, k)
+	}
+	var buf bytes.Buffer
+	RenderFig9(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+}
+
+func TestFig10KnobResponds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	rows := Fig10a(sc, []float64{10, 60})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lo, hi := rows[0], rows[1]
+	if hi.AvgDRAMBW <= lo.AvgDRAMBW {
+		t.Error("DRAM bandwidth must rise with ingestion rate")
+	}
+	// At the high rate the knob must have shifted allocations to DRAM.
+	if hi.KLow >= 1 {
+		t.Errorf("knob must respond to pressure: k_low = %f", hi.KLow)
+	}
+	b := Fig10b(sc, []int{100, 300})
+	if len(b) != 2 {
+		t.Fatalf("fig10b rows = %d", len(b))
+	}
+	var buf bytes.Buffer
+	RenderFig10(&buf, "t", "x", rows)
+	if buf.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	rows := Fig11(50)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 3 formats x 2 machines", len(rows))
+	}
+	rate := map[string]map[string]float64{}
+	for _, r := range rows {
+		if rate[r.Format] == nil {
+			rate[r.Format] = map[string]float64{}
+		}
+		rate[r.Format][r.Machine] = r.MRecSec
+	}
+	// §7.4 ordering: text >> protobuf >> JSON.
+	if !(rate["Text Strings"]["KNL"] > rate["Protocol Buffers"]["KNL"]) {
+		t.Error("text must parse faster than protobuf")
+	}
+	if !(rate["Protocol Buffers"]["KNL"] > rate["JSON"]["KNL"]) {
+		t.Error("protobuf must parse faster than JSON")
+	}
+	// X56 parses 3-4x faster than KNL (per-machine, 56 vs 64 cores).
+	for f, m := range rate {
+		if m["X56"] <= m["KNL"] {
+			t.Errorf("%s: X56 (%f) must out-parse KNL (%f)", f, m["X56"], m["KNL"])
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig11(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+}
+
+func TestWorkloadsBuild(t *testing.T) {
+	for _, w := range append(Fig8Workloads(), YSBWorkload(), YSBFlinkWorkload()) {
+		res := runOnce(sbxConfig(memsim.KNLConfig(), 16, 1), w, 5e6, 0, tinyScale())
+		if res.Err != nil {
+			t.Errorf("%s: %v", w.Name, res.Err)
+		}
+		if res.Ingested == 0 {
+			t.Errorf("%s: nothing ingested", w.Name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"streambox/internal/parsefmt"
+)
+
+// Fig11Row is one bar of Figure 11: projected all-core parsing
+// throughput for one format on one machine, and its ratio to the
+// engine's throughput over already-parsed data.
+type Fig11Row struct {
+	Format  string
+	Machine string
+	MRecSec float64
+	// RatioToEngine is parse throughput / engine throughput (KNL only;
+	// 0 when unknown).
+	RatioToEngine float64
+}
+
+// Fig11 reproduces Figure 11: parse throughput of JSON, protobuf-style
+// binary and text encodings of YSB records, measured for real on the
+// host and projected to KNL (64 cores) and X56 (56 cores).
+// engineMRecKNL is StreamBox-HBM's YSB throughput over parsed data (the
+// dashed line of the figure), typically Fig7's KNL-RDMA result.
+func Fig11(engineMRecKNL float64) []Fig11Row {
+	recs := sampleYSBRecords(20_000)
+	var rows []Fig11Row
+	for _, f := range []parsefmt.Format{parsefmt.JSON, parsefmt.PB, parsefmt.Text} {
+		data := parsefmt.Encode(f, recs)
+		perCoreHost := measureParse(f, data, len(recs))
+		knl := perCoreHost * parsefmt.KNLParseScale * 64
+		x56 := perCoreHost * parsefmt.X56ParseScale * 56
+		knlRow := Fig11Row{Format: f.String(), Machine: "KNL", MRecSec: knl / 1e6}
+		if engineMRecKNL > 0 {
+			knlRow.RatioToEngine = (knl / 1e6) / engineMRecKNL
+		}
+		rows = append(rows, knlRow)
+		rows = append(rows, Fig11Row{Format: f.String(), Machine: "X56", MRecSec: x56 / 1e6})
+	}
+	return rows
+}
+
+// sampleYSBRecords builds a deterministic record sample.
+func sampleYSBRecords(n int) []parsefmt.Record {
+	r := rand.New(rand.NewSource(11))
+	out := make([]parsefmt.Record, n)
+	for i := range out {
+		out[i] = parsefmt.Record{
+			AdID:      r.Uint64() % 1000,
+			AdType:    r.Uint64() % 5,
+			EventType: r.Uint64() % 3,
+			UserID:    r.Uint64() % 100000,
+			PageID:    r.Uint64() % 1000,
+			IP:        r.Uint64(),
+			EventTime: r.Uint64() % 1_000_000,
+		}
+	}
+	return out
+}
+
+// measureParse returns the host's single-core parse rate in records/s,
+// timing repeated decodes for at least 100 ms.
+func measureParse(f parsefmt.Format, data []byte, recs int) float64 {
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < 100*time.Millisecond {
+		if _, err := parsefmt.Decode(f, data); err != nil {
+			panic(err)
+		}
+		iters++
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(recs*iters) / elapsed
+}
+
+// RenderFig11 prints Figure 11.
+func RenderFig11(out io.Writer, rows []Fig11Row) {
+	header(out, "Figure 11: YSB parsing throughput at ingestion (projected, all cores)",
+		"format", "machine", "Mrec/s", "x engine tput")
+	for _, r := range rows {
+		if r.RatioToEngine > 0 {
+			fmt.Fprintf(out, "%s\t%s\t%.1f\t%.2fx\n", r.Format, r.Machine, r.MRecSec, r.RatioToEngine)
+		} else {
+			fmt.Fprintf(out, "%s\t%s\t%.1f\t-\n", r.Format, r.Machine, r.MRecSec)
+		}
+	}
+}

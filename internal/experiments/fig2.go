@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streambox/internal/memsim"
+)
+
+// Fig2Row is one point of Figure 2: GroupBy throughput and memory
+// bandwidth for one algorithm/tier at one core count.
+type Fig2Row struct {
+	Config    string // "HBM Sort", "DRAM Sort", "HBM Hash", "DRAM Hash"
+	Cores     int
+	MPairsSec float64 // million pairs/second
+	GBSec     float64 // sustained memory bandwidth, GB/s
+}
+
+// Fig2Config sizes the GroupBy microbenchmark.
+type Fig2Config struct {
+	// Pairs is the input size (paper: 100 M key/value pairs).
+	Pairs int
+	// Cores lists the x-axis points.
+	Cores []int
+}
+
+// DefaultFig2 matches the paper: 100 M pairs, cores {2,16,32,48,64}.
+func DefaultFig2() Fig2Config {
+	return Fig2Config{Pairs: 100_000_000, Cores: PaperCores}
+}
+
+// Fig2 reproduces Figure 2: sort-based versus hash-based GroupBy on HBM
+// and DRAM across core counts, on the simulated KNL. Sort follows the
+// paper's structure — per-core chunk sorts, then iterative pairwise
+// merge passes sliced across all cores; Hash partitions then inserts
+// into a pre-allocated open-addressing table.
+func Fig2(cfg Fig2Config) []Fig2Row {
+	if cfg.Pairs == 0 {
+		cfg = DefaultFig2()
+	}
+	var rows []Fig2Row
+	for _, tier := range []memsim.Tier{memsim.HBM, memsim.DRAM} {
+		for _, alg := range []string{"Sort", "Hash"} {
+			for _, cores := range cfg.Cores {
+				elapsed, bytes := runFig2Point(tier, alg, cfg.Pairs, cores)
+				name := fmt.Sprintf("%v %s", tier, alg)
+				rows = append(rows, Fig2Row{
+					Config:    name,
+					Cores:     cores,
+					MPairsSec: float64(cfg.Pairs) / elapsed / 1e6,
+					GBSec:     float64(bytes) / elapsed / 1e9,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// runFig2Point simulates one GroupBy at one core count, returning the
+// virtual elapsed time and total memory traffic.
+func runFig2Point(tier memsim.Tier, alg string, pairs, cores int) (float64, int64) {
+	machine := memsim.KNLConfig().WithCores(cores)
+	sim := memsim.NewSim(machine)
+	switch alg {
+	case "Sort":
+		scheduleParallelSort(sim, tier, pairs, cores)
+	case "Hash":
+		// Partition + insert, one task per core over its share.
+		per := pairs / cores
+		for i := 0; i < cores; i++ {
+			sim.Submit(&memsim.Task{
+				Name:   "hash",
+				Demand: memsim.HashGroupDemand(tier, per),
+			})
+		}
+	}
+	sim.Run()
+	st := sim.Stats()
+	return sim.Now(), st.BytesByTier[memsim.HBM] + st.BytesByTier[memsim.DRAM]
+}
+
+// scheduleParallelSort builds the paper's §4.2 sort task graph: N chunk
+// sorts, then log2(N) pairwise merge passes, each pass sliced across
+// all cores at key boundaries.
+func scheduleParallelSort(sim *memsim.Sim, tier memsim.Tier, pairs, cores int) {
+	chunk := pairs / cores
+	var runMergePass func(level, runs int)
+	pending := 0
+	done := func(level, runs int) func(float64) {
+		return func(float64) {
+			pending--
+			if pending == 0 && runs > 1 {
+				runMergePass(level+1, (runs+1)/2)
+			}
+		}
+	}
+	runMergePass = func(level, runs int) {
+		// A pass streams all pairs once; sliced across all cores.
+		per := pairs / cores
+		pending = cores
+		for i := 0; i < cores; i++ {
+			sim.Submit(&memsim.Task{
+				Name:   "merge",
+				Demand: memsim.MergeDemand(tier, per),
+				OnDone: done(level, runs),
+			})
+		}
+	}
+	pending = cores
+	for i := 0; i < cores; i++ {
+		sim.Submit(&memsim.Task{
+			Name:   "chunksort",
+			Demand: memsim.SortDemand(tier, chunk),
+			OnDone: done(0, cores),
+		})
+	}
+}
+
+// RenderFig2 prints the rows as the two panels of Figure 2.
+func RenderFig2(out io.Writer, rows []Fig2Row) {
+	header(out, "Figure 2: GroupBy on HBM and DRAM (100M pairs)",
+		"config", "cores", "Mpairs/s", "GB/s")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s\t%d\t%.1f\t%.1f\n", r.Config, r.Cores, r.MPairsSec, r.GBSec)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streambox/internal/baseline"
+	"streambox/internal/engine"
+	"streambox/internal/ingress"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// newFlinkYSBOp builds the baseline's fused YSB stage.
+func newFlinkYSBOp(gen *ingress.YSBGen) engine.Operator {
+	return baseline.NewHashWindowCount(ingress.YSBEventType, ingress.YSBAdID,
+		ingress.YSBEventTime, ingress.YSBEventView, gen.CampaignTable())
+}
+
+// Fig7Row is one point of Figure 7: YSB throughput and peak HBM
+// bandwidth for one system at one core count.
+type Fig7Row struct {
+	System   string
+	Cores    int
+	MRecSec  float64
+	HBMBWGBs float64
+	AvgDelay float64
+}
+
+// Fig7Systems names the four lines of Figure 7.
+var Fig7Systems = []string{
+	"StreamBox-HBM KNL RDMA",
+	"StreamBox-HBM KNL 10GbE",
+	"Flink KNL 10GbE",
+	"Flink X56 10GbE",
+}
+
+// Fig7 reproduces Figure 7: YSB input throughput under the 1-second
+// target delay, and peak HBM bandwidth, across core counts, for
+// StreamBox-HBM (RDMA and 10 GbE ingress) and the Flink-like baseline
+// (KNL and X56).
+func Fig7(sc Scale, cores []int) []Fig7Row {
+	if len(cores) == 0 {
+		cores = PaperCores
+	}
+	knl := memsim.KNLConfig()
+	x56 := memsim.X56Config()
+	var rows []Fig7Row
+	for _, system := range Fig7Systems {
+		for _, c := range cores {
+			var cfg engine.Config
+			var w Workload
+			var nic float64
+			switch system {
+			case "StreamBox-HBM KNL RDMA":
+				cfg, w, nic = sbxConfig(knl, c, 1), YSBWorkload(), knl.RDMABW
+			case "StreamBox-HBM KNL 10GbE":
+				cfg, w, nic = sbxConfig(knl, c, 1), YSBWorkload(), knl.EthBW
+			case "Flink KNL 10GbE":
+				cfg = baseline.FlinkConfig(knl.WithCores(c), wm.Fixed(WindowSize))
+				w, nic = YSBFlinkWorkload(), knl.EthBW
+			case "Flink X56 10GbE":
+				if c > x56.Cores {
+					continue
+				}
+				cfg = baseline.FlinkConfig(x56.WithCores(c), wm.Fixed(WindowSize))
+				w, nic = YSBFlinkWorkload(), x56.EthBW
+			}
+			res := MaxThroughput(cfg, w, nic, sc)
+			rows = append(rows, Fig7Row{
+				System:   system,
+				Cores:    c,
+				MRecSec:  res.Rate / 1e6,
+				HBMBWGBs: res.PeakHBM / 1e9,
+				AvgDelay: res.AvgDelay,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFig7 prints both panels of Figure 7.
+func RenderFig7(out io.Writer, rows []Fig7Row) {
+	header(out, "Figure 7: YSB throughput under 1 s target delay",
+		"system", "cores", "Mrec/s", "peak HBM GB/s", "avg delay s")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s\t%d\t%.1f\t%.1f\t%.3f\n", r.System, r.Cores, r.MRecSec, r.HBMBWGBs, r.AvgDelay)
+	}
+}
+
+// Fig7PerCoreRatio computes the §7.1 headline: StreamBox-HBM's 10GbE
+// per-core throughput at its I/O-saturating core count versus Flink
+// KNL's per-core throughput at its best core count.
+func Fig7PerCoreRatio(rows []Fig7Row) float64 {
+	best := func(system string) (rate float64, perCore float64) {
+		for _, r := range rows {
+			if r.System != system {
+				continue
+			}
+			if r.MRecSec > rate {
+				rate = r.MRecSec
+			}
+		}
+		// Per-core at the smallest core count achieving >= 95% of best.
+		bestPer := 0.0
+		for _, r := range rows {
+			if r.System == system && r.MRecSec >= 0.95*rate {
+				if pc := r.MRecSec / float64(r.Cores); pc > bestPer {
+					bestPer = pc
+				}
+			}
+		}
+		return rate, bestPer
+	}
+	_, sbx := best("StreamBox-HBM KNL 10GbE")
+	_, flink := best("Flink KNL 10GbE")
+	if flink == 0 {
+		return 0
+	}
+	return sbx / flink
+}

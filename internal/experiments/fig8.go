@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streambox/internal/memsim"
+)
+
+// Fig8Row is one point of Figure 8: one benchmark pipeline's maximum
+// throughput and peak HBM bandwidth at one core count.
+type Fig8Row struct {
+	Bench    string
+	Cores    int
+	MRecSec  float64
+	HBMBWGBs float64
+	AvgDelay float64
+}
+
+// Fig8 reproduces Figure 8: the nine benchmark pipelines' throughput
+// (lines) and peak HBM bandwidth utilization (columns) under the
+// 1-second target output delay, with RDMA ingress.
+func Fig8(sc Scale, cores []int) []Fig8Row {
+	if len(cores) == 0 {
+		cores = PaperCores
+	}
+	knl := memsim.KNLConfig()
+	var rows []Fig8Row
+	for _, w := range Fig8Workloads() {
+		for _, c := range cores {
+			res := MaxThroughput(sbxConfig(knl, c, 1), w, knl.RDMABW, sc)
+			rows = append(rows, Fig8Row{
+				Bench:    w.Name,
+				Cores:    c,
+				MRecSec:  res.Rate / 1e6,
+				HBMBWGBs: res.PeakHBM / 1e9,
+				AvgDelay: res.AvgDelay,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFig8 prints the nine panels of Figure 8.
+func RenderFig8(out io.Writer, rows []Fig8Row) {
+	header(out, "Figure 8: throughput and peak HBM bandwidth, 1 s target delay",
+		"benchmark", "cores", "Mrec/s", "peak HBM GB/s")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s\t%d\t%.1f\t%.1f\n", r.Bench, r.Cores, r.MRecSec, r.HBMBWGBs)
+	}
+}

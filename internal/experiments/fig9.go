@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streambox/internal/baseline"
+	"streambox/internal/engine"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// Fig9Row is one point of Figure 9: TopK Per Key throughput for one
+// engine variant at one core count.
+type Fig9Row struct {
+	Variant string
+	Cores   int
+	MRecSec float64
+}
+
+// Fig9Variants names the four lines of Figure 9.
+var Fig9Variants = []string{
+	"StreamBox-HBM",
+	"StreamBox-HBM Caching",
+	"StreamBox-HBM DRAM",
+	"StreamBox-HBM Caching NoKPA",
+}
+
+// Fig9 reproduces Figure 9: the placement/KPA ablations on TopK Per
+// Key — software-managed hybrid memory versus hardware cache mode,
+// DRAM-only, and cache mode without KPA extraction.
+func Fig9(sc Scale, cores []int) []Fig9Row {
+	if len(cores) == 0 {
+		cores = PaperCores
+	}
+	knl := memsim.KNLConfig()
+	win := wm.Fixed(WindowSize)
+	w := TopKPerKey()
+	var rows []Fig9Row
+	for _, variant := range Fig9Variants {
+		for _, c := range cores {
+			var cfg engine.Config
+			m := knl.WithCores(c)
+			switch variant {
+			case "StreamBox-HBM":
+				cfg = sbxConfig(knl, c, 1)
+			case "StreamBox-HBM Caching":
+				cfg = baseline.CachingConfig(m, win)
+			case "StreamBox-HBM DRAM":
+				cfg = baseline.DRAMOnlyConfig(m, win)
+			case "StreamBox-HBM Caching NoKPA":
+				cfg = baseline.CachingNoKPAConfig(m, win)
+			}
+			res := MaxThroughput(cfg, w, knl.RDMABW, sc)
+			rows = append(rows, Fig9Row{Variant: variant, Cores: c, MRecSec: res.Rate / 1e6})
+		}
+	}
+	return rows
+}
+
+// RenderFig9 prints Figure 9.
+func RenderFig9(out io.Writer, rows []Fig9Row) {
+	header(out, "Figure 9: TopK Per Key under placement/KPA ablations",
+		"variant", "cores", "Mrec/s")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s\t%d\t%.1f\n", r.Variant, r.Cores, r.MRecSec)
+	}
+}
+
+// Fig9Ratios summarises the §7.3 headline claims, each taken as the
+// worst (largest) gap across core counts, matching the paper's "up to"
+// phrasing: DRAM-only loss, caching loss, and the NoKPA factor.
+func Fig9Ratios(rows []Fig9Row) (dramLoss, cachingLoss, noKPAFactor float64) {
+	at := map[string]map[int]float64{}
+	for _, r := range rows {
+		if at[r.Variant] == nil {
+			at[r.Variant] = map[int]float64{}
+		}
+		at[r.Variant][r.Cores] = r.MRecSec
+	}
+	for cores, full := range at["StreamBox-HBM"] {
+		if full <= 0 {
+			continue
+		}
+		if v, ok := at["StreamBox-HBM DRAM"][cores]; ok && v > 0 {
+			if loss := 1 - v/full; loss > dramLoss {
+				dramLoss = loss
+			}
+		}
+		if v, ok := at["StreamBox-HBM Caching"][cores]; ok && v > 0 {
+			if loss := 1 - v/full; loss > cachingLoss {
+				cachingLoss = loss
+			}
+		}
+		if v, ok := at["StreamBox-HBM Caching NoKPA"][cores]; ok && v > 0 {
+			if f := full / v; f > noKPAFactor {
+				noKPAFactor = f
+			}
+		}
+	}
+	return dramLoss, cachingLoss, noKPAFactor
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"streambox/internal/engine"
+	"streambox/internal/ingress"
+	"streambox/internal/ops"
+)
+
+// workload parameters shared by the Fig 8 benchmarks (paper §6: keys
+// and values are 64-bit random integers; records have three columns,
+// plus a secondary key for benchmarks 8 and 9).
+const (
+	benchKeys = 10_000
+	benchSeed = 42
+)
+
+func kvGen(seed int64) engine.Generator {
+	return ingress.NewKV(ingress.KVConfig{Keys: benchKeys, Seed: seed})
+}
+
+// keyedAggWorkload builds Source -> Window -> KeyedAgg -> Egress.
+func keyedAggWorkload(name string, agg func() *ops.KeyedAggOp) Workload {
+	return Workload{
+		Name: name,
+		Build: func(e *engine.Engine) []SourceSlot {
+			sink := engine.NewEgressSink(name)
+			nodes := e.Chain(&ops.WindowOp{TsCol: 2}, agg(), sink)
+			return []SourceSlot{{Gen: kvGen(benchSeed), Entry: nodes[0]}}
+		},
+	}
+}
+
+// TopKPerKey is benchmark 1.
+func TopKPerKey() Workload {
+	return keyedAggWorkload("TopK Per Key", func() *ops.KeyedAggOp {
+		return ops.NewKeyedAgg("topk", 0, 1, ops.TopK(10)).WithReduceCost(2)
+	})
+}
+
+// WindowedSumPerKey is benchmark 2.
+func WindowedSumPerKey() Workload {
+	return keyedAggWorkload("Windowed Sum Per Key", func() *ops.KeyedAggOp {
+		return ops.NewKeyedAgg("sum", 0, 1, ops.Sum())
+	})
+}
+
+// WindowedMedianPerKey is benchmark 3.
+func WindowedMedianPerKey() Workload {
+	return keyedAggWorkload("Windowed Med Per Key", func() *ops.KeyedAggOp {
+		return ops.NewKeyedAgg("median", 0, 1, ops.Median()).WithReduceCost(3)
+	})
+}
+
+// WindowedAvgPerKey is benchmark 4.
+func WindowedAvgPerKey() Workload {
+	return keyedAggWorkload("Windowed Avg Per Key", func() *ops.KeyedAggOp {
+		return ops.NewKeyedAgg("avg", 0, 1, ops.Avg())
+	})
+}
+
+// WindowedAvgAll is benchmark 5.
+func WindowedAvgAll() Workload {
+	return Workload{
+		Name: "Windowed Average",
+		Build: func(e *engine.Engine) []SourceSlot {
+			sink := engine.NewEgressSink("avgall")
+			nodes := e.Chain(&ops.WindowOp{TsCol: 2}, ops.NewAvgAll(1), sink)
+			return []SourceSlot{{Gen: kvGen(benchSeed), Entry: nodes[0]}}
+		},
+	}
+}
+
+// UniqueCountPerKey is benchmark 6.
+func UniqueCountPerKey() Workload {
+	return keyedAggWorkload("Unique Count Per Key", func() *ops.KeyedAggOp {
+		return ops.NewKeyedAgg("unique", 0, 1, ops.UniqueCount()).WithReduceCost(2.5)
+	})
+}
+
+// TemporalJoin is benchmark 7 (two input streams).
+func TemporalJoin() Workload {
+	return Workload{
+		Name: "Temporal Join",
+		Build: func(e *engine.Engine) []SourceSlot {
+			winL := e.AddOperator(&ops.WindowOp{TsCol: 2})
+			winR := e.AddOperator(&ops.WindowOp{TsCol: 2})
+			join := e.AddOperator(ops.NewTemporalJoin(0, 1))
+			sink := e.AddOperator(engine.NewEgressSink("join"))
+			e.Connect(winL, 0, join, 0)
+			e.Connect(winR, 0, join, 1)
+			e.Connect(join, 0, sink, 0)
+			return []SourceSlot{
+				{Gen: kvGen(benchSeed), Entry: winL},
+				{Gen: kvGen(benchSeed + 1), Entry: winR},
+			}
+		},
+	}
+}
+
+// WindowedFilter is benchmark 8 (two input streams, secondary keys).
+func WindowedFilter() Workload {
+	return Workload{
+		Name: "Windowed Filter",
+		Build: func(e *engine.Engine) []SourceSlot {
+			winC := e.AddOperator(&ops.WindowOp{TsCol: 2})
+			winD := e.AddOperator(&ops.WindowOp{TsCol: 2})
+			wf := e.AddOperator(ops.NewWindowedFilter(1))
+			sink := e.AddOperator(engine.NewEgressSink("winfilter"))
+			e.Connect(winC, 0, wf, 0)
+			e.Connect(winD, 0, wf, 1)
+			e.Connect(wf, 0, sink, 0)
+			gen := func(seed int64) engine.Generator {
+				return ingress.NewKV(ingress.KVConfig{Keys: benchKeys, Seed: seed, SecondaryKeys: 64})
+			}
+			return []SourceSlot{
+				{Gen: gen(benchSeed), Entry: winC},
+				{Gen: gen(benchSeed + 1), Entry: winD},
+			}
+		},
+	}
+}
+
+// PowerGrid is benchmark 9.
+func PowerGrid() Workload {
+	return Workload{
+		Name: "Power Grid",
+		Build: func(e *engine.Engine) []SourceSlot {
+			sink := engine.NewEgressSink("powergrid")
+			nodes := e.Chain(&ops.WindowOp{TsCol: 2}, ops.NewPowerGrid(), sink)
+			return []SourceSlot{{Gen: ingress.NewPowerGrid(ingress.PowerGridConfig{Seed: benchSeed}), Entry: nodes[0]}}
+		},
+	}
+}
+
+// Fig8Workloads returns the nine benchmark pipelines in figure order.
+func Fig8Workloads() []Workload {
+	return []Workload{
+		TopKPerKey(),
+		WindowedSumPerKey(),
+		WindowedMedianPerKey(),
+		WindowedAvgPerKey(),
+		WindowedAvgAll(),
+		UniqueCountPerKey(),
+		TemporalJoin(),
+		WindowedFilter(),
+		PowerGrid(),
+	}
+}
+
+// YSBWorkload is the Yahoo streaming benchmark on StreamBox-HBM
+// (Figure 1a: Filter -> Projection -> External Join -> Window -> Count).
+func YSBWorkload() Workload {
+	return Workload{
+		Name: "YSB",
+		Build: func(e *engine.Engine) []SourceSlot {
+			gen := ingress.NewYSB(ingress.YSBConfig{Seed: benchSeed})
+			filter := &ops.FilterOp{Label: "views", Col: ingress.YSBEventType,
+				Keep: func(v uint64) bool { return v == ingress.YSBEventView }}
+			proj := &ops.ProjectOp{Cols: []int{ingress.YSBAdID, ingress.YSBEventTime}}
+			ext := &ops.ExternalJoinOp{Label: "campaign", KeyCol: ingress.YSBAdID, Table: gen.CampaignTable()}
+			win := &ops.WindowOp{TsCol: ingress.YSBEventTime}
+			count := ops.NewKeyedAgg("campaigns", ingress.YSBAdID, ingress.YSBAdID, ops.Count())
+			sink := engine.NewEgressSink("ysb")
+			nodes := e.Chain(filter, proj, ext, win, count, sink)
+			return []SourceSlot{{Gen: gen, Entry: nodes[0]}}
+		},
+	}
+}
+
+// YSBFlinkWorkload is the Flink-like baseline on the same stream.
+func YSBFlinkWorkload() Workload {
+	return Workload{
+		Name: "YSB-Flink",
+		Build: func(e *engine.Engine) []SourceSlot {
+			gen := ingress.NewYSB(ingress.YSBConfig{Seed: benchSeed})
+			op := newFlinkYSBOp(gen)
+			sink := engine.NewEgressSink("ysb-flink")
+			nodes := e.Chain(op, sink)
+			return []SourceSlot{{Gen: gen, Entry: nodes[0]}}
+		},
+	}
+}

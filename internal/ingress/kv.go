@@ -1,0 +1,136 @@
+// Package ingress provides the paper's workload generators (§6): the
+// three-column key/value streams used by benchmarks 1–7, the
+// four-column secondary-key variant for benchmarks 8–9, the YSB ad
+// stream, and the synthetic Power Grid stream standing in for the DEBS
+// 2014 trace. All generators implement engine.Generator and produce
+// purely numeric records.
+package ingress
+
+import (
+	"math/rand"
+
+	"streambox/internal/bundle"
+	"streambox/internal/wm"
+)
+
+// KVConfig configures a key/value stream.
+type KVConfig struct {
+	// Keys is the key cardinality; keys are drawn uniformly (the
+	// paper's grouping primitives are insensitive to skew, §6).
+	Keys uint64
+	// ValueRange bounds values in [0, ValueRange).
+	ValueRange uint64
+	// Seed makes the stream reproducible.
+	Seed int64
+	// SecondaryKeys adds a fourth column of secondary keys with this
+	// cardinality when nonzero (benchmarks 8 and 9).
+	SecondaryKeys uint64
+}
+
+// KVGen generates (key, value, ts[, key2]) records with 64-bit values.
+type KVGen struct {
+	cfg    KVConfig
+	schema bundle.Schema
+	rng    *rand.Rand
+}
+
+// NewKV creates a generator; zero fields get workable defaults.
+func NewKV(cfg KVConfig) *KVGen {
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 10
+	}
+	if cfg.ValueRange == 0 {
+		cfg.ValueRange = 1 << 20
+	}
+	schema := bundle.Schema{NumCols: 3, TsCol: 2, Names: []string{"key", "value", "ts"}}
+	if cfg.SecondaryKeys > 0 {
+		schema = bundle.Schema{NumCols: 4, TsCol: 2, Names: []string{"key", "value", "ts", "key2"}}
+	}
+	return &KVGen{cfg: cfg, schema: schema, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Schema implements engine.Generator.
+func (g *KVGen) Schema() bundle.Schema { return g.schema }
+
+// Fill implements engine.Generator.
+func (g *KVGen) Fill(bd *bundle.Builder, n int, tsLo, tsHi wm.Time) {
+	span := tsHi - tsLo
+	for i := 0; i < n; i++ {
+		ts := tsLo + wm.Time(i)*span/wm.Time(n)
+		key := g.rng.Uint64() % g.cfg.Keys
+		val := g.rng.Uint64() % g.cfg.ValueRange
+		if g.cfg.SecondaryKeys > 0 {
+			bd.Append(key, val, ts, g.rng.Uint64()%g.cfg.SecondaryKeys)
+		} else {
+			bd.Append(key, val, ts)
+		}
+	}
+}
+
+// RoundRobinKVGen emits keys cyclically with value 1 — a deterministic
+// stream whose per-window aggregates are exactly computable, used by
+// integration tests.
+type RoundRobinKVGen struct {
+	Keys   uint64
+	Value  uint64
+	schema bundle.Schema
+	next   uint64
+}
+
+// NewRoundRobinKV creates the deterministic generator.
+func NewRoundRobinKV(keys, value uint64) *RoundRobinKVGen {
+	return &RoundRobinKVGen{
+		Keys:   keys,
+		Value:  value,
+		schema: bundle.Schema{NumCols: 3, TsCol: 2, Names: []string{"key", "value", "ts"}},
+	}
+}
+
+// Schema implements engine.Generator.
+func (g *RoundRobinKVGen) Schema() bundle.Schema { return g.schema }
+
+// Fill implements engine.Generator.
+func (g *RoundRobinKVGen) Fill(bd *bundle.Builder, n int, tsLo, tsHi wm.Time) {
+	span := tsHi - tsLo
+	for i := 0; i < n; i++ {
+		ts := tsLo + wm.Time(i)*span/wm.Time(n)
+		bd.Append(g.next%g.Keys, g.Value, ts)
+		g.next++
+	}
+}
+
+// AlternatingKVGen emits round-robin keys whose values alternate
+// between Lo and Hi — deterministic input for threshold filters.
+type AlternatingKVGen struct {
+	Keys   uint64
+	Lo, Hi uint64
+	schema bundle.Schema
+	next   uint64
+}
+
+// NewAlternatingKV creates the generator.
+func NewAlternatingKV(keys, lo, hi uint64) *AlternatingKVGen {
+	return &AlternatingKVGen{
+		Keys:   keys,
+		Lo:     lo,
+		Hi:     hi,
+		schema: bundle.Schema{NumCols: 3, TsCol: 2, Names: []string{"key", "value", "ts"}},
+	}
+}
+
+// Schema implements engine.Generator.
+func (g *AlternatingKVGen) Schema() bundle.Schema { return g.schema }
+
+// Fill implements engine.Generator.
+func (g *AlternatingKVGen) Fill(bd *bundle.Builder, n int, tsLo, tsHi wm.Time) {
+	span := tsHi - tsLo
+	for i := 0; i < n; i++ {
+		ts := tsLo + wm.Time(i)*span/wm.Time(n)
+		v := g.Lo
+		if g.next%2 == 1 {
+			v = g.Hi
+		}
+		bd.Append(g.next%g.Keys, v, ts)
+		g.next++
+	}
+}

@@ -1,0 +1,192 @@
+// Package kpa implements the Key Pointer Array (paper §4), the only data
+// structure StreamBox-HBM places in HBM. A KPA holds a sequence of
+// (resident key, record pointer) pairs; keys replicate one column of the
+// full records, pointers reference rows of record bundles in DRAM. The
+// package provides the ten streaming primitives of paper Table 2.
+package kpa
+
+import (
+	"fmt"
+
+	"streambox/internal/algo"
+	"streambox/internal/bundle"
+	"streambox/internal/mempool"
+	"streambox/internal/memsim"
+)
+
+// Ptr packs a record pointer: high 32 bits bundle ID, low 32 bits row.
+type Ptr = uint64
+
+// PackPtr builds a record pointer.
+func PackPtr(bundleID, row uint32) Ptr {
+	return uint64(bundleID)<<32 | uint64(row)
+}
+
+// PtrBundle extracts the bundle ID of a pointer.
+func PtrBundle(p Ptr) uint32 { return uint32(p >> 32) }
+
+// PtrRow extracts the row index of a pointer.
+func PtrRow(p Ptr) uint32 { return uint32(p) }
+
+// Allocator decides where a new KPA lives. The engine's implementation
+// applies the demand-balance knob and performance-impact tags (paper
+// §5); tests use FixedAllocator.
+type Allocator interface {
+	// AllocKPA reserves nBytes for a new KPA and returns its placement.
+	AllocKPA(nBytes int64) (memsim.Tier, *mempool.Allocation, error)
+}
+
+// FixedAllocator always allocates from one tier of a pool.
+type FixedAllocator struct {
+	Pool *mempool.Pool
+	T    memsim.Tier
+}
+
+// AllocKPA implements Allocator.
+func (f FixedAllocator) AllocKPA(nBytes int64) (memsim.Tier, *mempool.Allocation, error) {
+	a, err := f.Pool.Alloc(f.T, nBytes)
+	if err != nil {
+		return 0, nil, err
+	}
+	return f.T, a, nil
+}
+
+// NoopAllocator places KPAs on a tier without capacity accounting
+// (used by unit tests that do not care about memory pressure).
+type NoopAllocator struct{ T memsim.Tier }
+
+// AllocKPA implements Allocator.
+func (n NoopAllocator) AllocKPA(int64) (memsim.Tier, *mempool.Allocation, error) {
+	return n.T, nil, nil
+}
+
+// KPA is a key pointer array: intermediate grouping state.
+type KPA struct {
+	pairs    []algo.Pair
+	resident int // column index the keys replicate; -1 for synthetic keys
+	tier     memsim.Tier
+	sorted   bool
+	// sources maps bundle ID -> bundle for every bundle any pointer
+	// references; each entry holds one reference count (paper §5.1).
+	sources   map[uint32]*bundle.Bundle
+	alloc     *mempool.Allocation
+	destroyed bool
+}
+
+// SyntheticKey marks a KPA whose resident keys were computed (e.g. an
+// external-join mapping) rather than copied from a record column.
+const SyntheticKey = -1
+
+// newKPA allocates backing storage for n pairs via al.
+func newKPA(n int, resident int, al Allocator) (*KPA, error) {
+	bytes := int64(n) * memsim.PairBytes
+	if bytes == 0 {
+		bytes = memsim.PairBytes // placement still matters for empties
+	}
+	tier, alloc, err := al.AllocKPA(bytes)
+	if err != nil {
+		return nil, fmt.Errorf("kpa: allocating %d pairs: %w", n, err)
+	}
+	return &KPA{
+		pairs:    make([]algo.Pair, 0, n),
+		resident: resident,
+		tier:     tier,
+		sources:  make(map[uint32]*bundle.Bundle),
+		alloc:    alloc,
+	}, nil
+}
+
+// Len returns the number of pairs.
+func (k *KPA) Len() int { return len(k.pairs) }
+
+// Tier returns the memory tier holding the KPA.
+func (k *KPA) Tier() memsim.Tier { return k.tier }
+
+// Resident returns the column index the keys replicate (SyntheticKey
+// for computed keys).
+func (k *KPA) Resident() int { return k.resident }
+
+// Sorted reports whether the pairs are sorted by resident key.
+func (k *KPA) Sorted() bool { return k.sorted }
+
+// Pairs returns the underlying pairs. Callers must treat the slice as
+// read-only; primitives in this package are the only mutators.
+func (k *KPA) Pairs() []algo.Pair { return k.pairs }
+
+// Keys returns a copy of the resident keys (testing/debugging helper).
+func (k *KPA) Keys() []uint64 { return algo.Keys(k.pairs) }
+
+// Bytes returns the modeled in-memory size of the KPA.
+func (k *KPA) Bytes() int64 { return int64(len(k.pairs)) * memsim.PairBytes }
+
+// NumSources returns the number of distinct bundles referenced.
+func (k *KPA) NumSources() int { return len(k.sources) }
+
+// Schema returns the schema shared by the KPA's source bundles; ok is
+// false when the KPA has no sources or they disagree.
+func (k *KPA) Schema() (bundle.Schema, bool) {
+	s, err := k.uniformSchema()
+	return s, err == nil
+}
+
+// Source resolves a bundle ID to the referenced bundle, or nil.
+func (k *KPA) Source(id uint32) *bundle.Bundle { return k.sources[id] }
+
+// Deref resolves a pointer into (bundle, row). It panics on a dangling
+// pointer, which would indicate broken reference counting.
+func (k *KPA) Deref(p Ptr) (*bundle.Bundle, int) {
+	b := k.sources[PtrBundle(p)]
+	if b == nil {
+		panic(fmt.Sprintf("kpa: dangling pointer into bundle %d", PtrBundle(p)))
+	}
+	return b, int(PtrRow(p))
+}
+
+// addSource links a bundle, taking one reference if new (paper §5.1:
+// "adds a link pointing to R if one does not exist and increments the
+// reference count").
+func (k *KPA) addSource(b *bundle.Bundle) {
+	id := uint32(b.ID())
+	if _, ok := k.sources[id]; !ok {
+		b.Retain()
+		k.sources[id] = b
+	}
+}
+
+// inheritSources copies another KPA's bundle links, retaining each.
+func (k *KPA) inheritSources(from *KPA) {
+	for id, b := range from.sources {
+		if _, ok := k.sources[id]; !ok {
+			b.Retain()
+			k.sources[id] = b
+		}
+	}
+}
+
+// Destroy releases the KPA: it drops every source-bundle reference
+// (possibly reclaiming bundles) and frees the slab allocation. A KPA
+// must be destroyed exactly once; double destroy panics.
+func (k *KPA) Destroy() {
+	if k.destroyed {
+		panic("kpa: double destroy")
+	}
+	k.destroyed = true
+	for _, b := range k.sources {
+		b.Release()
+	}
+	k.sources = nil
+	if k.alloc != nil {
+		k.alloc.Free()
+		k.alloc = nil
+	}
+	k.pairs = nil
+}
+
+// Destroyed reports whether Destroy has run.
+func (k *KPA) Destroyed() bool { return k.destroyed }
+
+// String renders a short description.
+func (k *KPA) String() string {
+	return fmt.Sprintf("kpa(len=%d col=%d tier=%v sorted=%v srcs=%d)",
+		len(k.pairs), k.resident, k.tier, k.sorted, len(k.sources))
+}

@@ -1,0 +1,315 @@
+package kpa
+
+import (
+	"fmt"
+
+	"streambox/internal/algo"
+	"streambox/internal/bundle"
+	"streambox/internal/memsim"
+)
+
+// --- Maintenance primitives (paper Table 2). -------------------------------
+
+// Extract creates a new KPA from a record bundle, copying column col as
+// the resident keys and building pointers to the bundle's rows.
+// Sequential access on both the bundle and the new KPA.
+func Extract(b *bundle.Bundle, col int, al Allocator) (*KPA, error) {
+	if col < 0 || col >= b.Schema().NumCols {
+		return nil, fmt.Errorf("kpa: extract column %d out of range for %d-column schema", col, b.Schema().NumCols)
+	}
+	k, err := newKPA(b.Rows(), col, al)
+	if err != nil {
+		return nil, err
+	}
+	id := uint32(b.ID())
+	keys := b.Col(col)
+	for i, key := range keys {
+		k.pairs = append(k.pairs, algo.Pair{Key: key, Ptr: PackPtr(id, uint32(i))})
+	}
+	if b.Rows() > 0 {
+		k.addSource(b)
+	}
+	k.sorted = b.Rows() <= 1
+	return k, nil
+}
+
+// ExtractDemand returns the virtual cost of Extract.
+func ExtractDemand(b *bundle.Bundle, to memsim.Tier) memsim.Demand {
+	return memsim.ExtractDemand(b.Tier(), to, b.Rows(), 8)
+}
+
+// Materialize emits a bundle of full records in KPA order by
+// dereferencing every pointer (random access into DRAM). newBuilder is
+// supplied by the engine so the output bundle gets a registry ID and a
+// slab allocation.
+func Materialize(k *KPA, newBuilder func(schema bundle.Schema, capacity int) (*bundle.Builder, error)) (*bundle.Bundle, error) {
+	schema, err := k.uniformSchema()
+	if err != nil {
+		return nil, err
+	}
+	bd, err := newBuilder(schema, max(k.Len(), 1))
+	if err != nil {
+		return nil, fmt.Errorf("kpa: materialize: %w", err)
+	}
+	row := make([]uint64, schema.NumCols)
+	for _, p := range k.pairs {
+		src, r := k.Deref(p.Ptr)
+		for c := 0; c < schema.NumCols; c++ {
+			row[c] = src.At(r, c)
+		}
+		// The resident key may have been updated in place (paper §4.3
+		// optimization: dirty keys are written back on materialize).
+		if k.resident >= 0 {
+			row[k.resident] = p.Key
+		}
+		if err := bd.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return bd.Seal(), nil
+}
+
+// MaterializeDemand returns the virtual cost of Materialize.
+func MaterializeDemand(k *KPA, recBytes int64) memsim.Demand {
+	return memsim.MaterializeDemand(k.Tier(), k.Len(), recBytes)
+}
+
+// uniformSchema returns the schema shared by all source bundles.
+func (k *KPA) uniformSchema() (bundle.Schema, error) {
+	var schema bundle.Schema
+	first := true
+	for _, b := range k.sources {
+		if first {
+			schema = b.Schema()
+			first = false
+			continue
+		}
+		s := b.Schema()
+		if s.NumCols != schema.NumCols || s.TsCol != schema.TsCol {
+			return bundle.Schema{}, fmt.Errorf("kpa: mixed schemas across source bundles")
+		}
+	}
+	if first {
+		return bundle.Schema{}, fmt.Errorf("kpa: no source bundles (empty KPA)")
+	}
+	return schema, nil
+}
+
+// KeySwap replaces the KPA's resident keys with nonresident column col,
+// loaded through the pointers (random access into DRAM). Sortedness is
+// invalidated.
+func KeySwap(k *KPA, col int) error {
+	for i, p := range k.pairs {
+		src, r := k.Deref(p.Ptr)
+		if col < 0 || col >= src.Schema().NumCols {
+			return fmt.Errorf("kpa: keyswap column %d out of range", col)
+		}
+		k.pairs[i].Key = src.At(r, col)
+	}
+	k.resident = col
+	k.sorted = k.Len() <= 1
+	return nil
+}
+
+// KeySwapDemand returns the virtual cost of KeySwap.
+func KeySwapDemand(k *KPA) memsim.Demand {
+	return memsim.KeySwapDemand(k.Tier(), k.Len())
+}
+
+// UpdateKeys rewrites every resident key through fn in place (sequential
+// access). It implements the in-place update used by the YSB external
+// join, which replaces ad_id with campaign_id (paper §4.3 step 3). The
+// resident column becomes synthetic.
+func UpdateKeys(k *KPA, fn func(key uint64) uint64) {
+	for i := range k.pairs {
+		k.pairs[i].Key = fn(k.pairs[i].Key)
+	}
+	k.resident = SyntheticKey
+	k.sorted = k.Len() <= 1
+}
+
+// UpdateKeysWriteBack rewrites the resident keys through fn and writes
+// the dirty keys back to the resident column of the full records
+// (paper §4.3: "The operator writes back camp_id to full records"), so
+// later KeySwap and Materialize see the new values. The KPA must have a
+// real resident column.
+func UpdateKeysWriteBack(k *KPA, fn func(key uint64) uint64) error {
+	if k.resident < 0 {
+		return fmt.Errorf("kpa: write-back needs a resident column, have synthetic keys")
+	}
+	col := k.resident
+	for i := range k.pairs {
+		nk := fn(k.pairs[i].Key)
+		k.pairs[i].Key = nk
+		src, row := k.Deref(k.pairs[i].Ptr)
+		src.OverwriteAt(row, col, nk)
+	}
+	k.sorted = k.Len() <= 1
+	return nil
+}
+
+// --- Grouping primitives (sequential access). ------------------------------
+
+// Sort sorts the KPA by resident keys in place.
+func Sort(k *KPA) {
+	algo.SortPairs(k.pairs)
+	k.sorted = true
+}
+
+// SortDemand returns the virtual cost of Sort.
+func SortDemand(k *KPA) memsim.Demand {
+	return memsim.SortDemand(k.Tier(), k.Len())
+}
+
+// SortChunk sorts pairs [lo,hi) of the KPA, the per-thread piece of the
+// paper's parallel merge-sort. The engine schedules one SortChunk task
+// per chunk followed by MergePairs tasks.
+func SortChunk(k *KPA, lo, hi int) {
+	algo.SortPairs(k.pairs[lo:hi])
+}
+
+// Merge combines two sorted KPAs with the same resident column into a
+// new sorted KPA. Both inputs remain valid (destroy them separately).
+func Merge(a, b *KPA, al Allocator) (*KPA, error) {
+	if !a.sorted || !b.sorted {
+		return nil, fmt.Errorf("kpa: merge requires sorted inputs")
+	}
+	if a.resident != b.resident {
+		return nil, fmt.Errorf("kpa: merge of different resident columns (%d vs %d)", a.resident, b.resident)
+	}
+	out, err := newKPA(a.Len()+b.Len(), a.resident, al)
+	if err != nil {
+		return nil, err
+	}
+	out.pairs = out.pairs[:a.Len()+b.Len()]
+	algo.MergeInto(out.pairs, a.pairs, b.pairs)
+	out.inheritSources(a)
+	out.inheritSources(b)
+	out.sorted = true
+	return out, nil
+}
+
+// MergeDemand returns the virtual cost of merging a and b.
+func MergeDemand(a, b *KPA) memsim.Demand {
+	return memsim.MergeDemand(a.Tier(), a.Len()+b.Len())
+}
+
+// JoinRow is one match emitted by Join: the shared key plus the two
+// source positions.
+type JoinRow struct {
+	Key  uint64
+	Left Ptr
+	Rght Ptr
+}
+
+// Join scans two sorted KPAs once and calls emit for every key match
+// (paper: "Join two sorted KPAs by resident keys. Emit new records." —
+// record construction from the pointer pair is the caller's business,
+// via Deref on the respective sides).
+func Join(a, b *KPA, emit func(JoinRow)) error {
+	if !a.sorted || !b.sorted {
+		return fmt.Errorf("kpa: join requires sorted inputs")
+	}
+	algo.JoinSorted(a.pairs, b.pairs, func(key, pa, pb uint64) {
+		emit(JoinRow{Key: key, Left: pa, Rght: pb})
+	})
+	return nil
+}
+
+// JoinDemand returns the virtual cost of joining a and b with m output
+// records of recBytes each.
+func JoinDemand(a, b *KPA, m int, recBytes int64) memsim.Demand {
+	return memsim.JoinDemand(a.Tier(), a.Len()+b.Len(), m, recBytes)
+}
+
+// SelectFromBundle creates a KPA holding only the rows of b whose
+// column-col value satisfies pred (ParDo/Filter without new records).
+func SelectFromBundle(b *bundle.Bundle, col int, pred func(uint64) bool, al Allocator) (*KPA, error) {
+	if col < 0 || col >= b.Schema().NumCols {
+		return nil, fmt.Errorf("kpa: select column %d out of range", col)
+	}
+	keys := b.Col(col)
+	n := 0
+	for _, key := range keys {
+		if pred(key) {
+			n++
+		}
+	}
+	k, err := newKPA(n, col, al)
+	if err != nil {
+		return nil, err
+	}
+	id := uint32(b.ID())
+	for i, key := range keys {
+		if pred(key) {
+			k.pairs = append(k.pairs, algo.Pair{Key: key, Ptr: PackPtr(id, uint32(i))})
+		}
+	}
+	if n > 0 {
+		k.addSource(b)
+	}
+	k.sorted = n <= 1
+	return k, nil
+}
+
+// Select creates a new KPA with the surviving key/pointer pairs of k.
+func Select(k *KPA, pred func(uint64) bool, al Allocator) (*KPA, error) {
+	kept := algo.SelectPairs(k.pairs, pred)
+	out, err := newKPA(len(kept), k.resident, al)
+	if err != nil {
+		return nil, err
+	}
+	out.pairs = append(out.pairs, kept...)
+	if len(kept) > 0 {
+		out.inheritSources(k)
+	}
+	out.sorted = k.sorted || len(kept) <= 1
+	return out, nil
+}
+
+// SelectDemand returns the virtual cost of a selection scan.
+func SelectDemand(k *KPA) memsim.Demand {
+	return memsim.ScanDemand(k.Tier(), k.Bytes(), int64(k.Len())*memsim.SelectCycles)
+}
+
+// Partition splits the KPA into len(boundaries)+1 KPAs by ranges of the
+// resident keys (paper: the Windowing operator partitions on the
+// timestamp column). Output KPAs inherit the input's bundle links.
+func Partition(k *KPA, boundaries []uint64, al Allocator) ([]*KPA, error) {
+	buckets := algo.PartitionByKeyRange(k.pairs, boundaries)
+	out := make([]*KPA, len(buckets))
+	for i, bucket := range buckets {
+		kp, err := newKPA(len(bucket), k.resident, al)
+		if err != nil {
+			for _, done := range out[:i] {
+				done.Destroy()
+			}
+			return nil, err
+		}
+		kp.pairs = append(kp.pairs, bucket...)
+		if len(bucket) > 0 {
+			kp.inheritSources(k)
+		}
+		kp.sorted = k.sorted || len(bucket) <= 1
+		out[i] = kp
+	}
+	return out, nil
+}
+
+// PartitionDemand returns the virtual cost of partitioning.
+func PartitionDemand(k *KPA) memsim.Demand {
+	return PartitionDemandN(k.Tier(), k.Len())
+}
+
+// PartitionDemandN is PartitionDemand for a KPA of n pairs on tier t,
+// usable before the KPA exists.
+func PartitionDemandN(t memsim.Tier, n int) memsim.Demand {
+	return memsim.ScanDemand(t, 2*int64(n)*memsim.PairBytes, int64(n)*memsim.PartitionCycles)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

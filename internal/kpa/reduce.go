@@ -1,0 +1,101 @@
+package kpa
+
+import (
+	"fmt"
+
+	"streambox/internal/memsim"
+)
+
+// Agg folds a stream of 64-bit values into one result. Implementations
+// live in internal/ops (sum, average, median, top-k, ...); the kpa
+// package only drives them.
+type Agg interface {
+	// Add folds one value.
+	Add(v uint64)
+	// Result returns the aggregate of the values added so far.
+	Result() uint64
+}
+
+// AggFactory creates a fresh aggregator per key (or per window).
+type AggFactory func() Agg
+
+// ReduceByKey performs keyed reduction over a sorted KPA (paper Table 2,
+// "Keyed"): it scans the KPA sequentially, tracks contiguous key ranges,
+// dereferences each pointer to load the nonresident value column
+// (random access into DRAM), and emits one (key, aggregate) per key.
+func ReduceByKey(k *KPA, valCol int, factory AggFactory, emit func(key, result uint64)) error {
+	if !k.sorted {
+		return fmt.Errorf("kpa: keyed reduction requires a sorted KPA")
+	}
+	n := k.Len()
+	for i := 0; i < n; {
+		key := k.pairs[i].Key
+		agg := factory()
+		for i < n && k.pairs[i].Key == key {
+			src, r := k.Deref(k.pairs[i].Ptr)
+			if valCol < 0 || valCol >= src.Schema().NumCols {
+				return fmt.Errorf("kpa: reduce value column %d out of range", valCol)
+			}
+			agg.Add(src.At(r, valCol))
+			i++
+		}
+		emit(key, agg.Result())
+	}
+	return nil
+}
+
+// ReduceByKeyResident reduces over the resident keys themselves grouped
+// by key — used when the value is the resident column (e.g. counting).
+func ReduceByKeyResident(k *KPA, factory AggFactory, emit func(key, result uint64)) error {
+	if !k.sorted {
+		return fmt.Errorf("kpa: keyed reduction requires a sorted KPA")
+	}
+	n := k.Len()
+	for i := 0; i < n; {
+		key := k.pairs[i].Key
+		agg := factory()
+		for i < n && k.pairs[i].Key == key {
+			agg.Add(key)
+			i++
+		}
+		emit(key, agg.Result())
+	}
+	return nil
+}
+
+// GroupScan calls fn once per contiguous key group of a sorted KPA with
+// the half-open pair index range [lo, hi) of the group.
+func GroupScan(k *KPA, fn func(key uint64, lo, hi int)) error {
+	if !k.sorted {
+		return fmt.Errorf("kpa: group scan requires a sorted KPA")
+	}
+	n := k.Len()
+	for i := 0; i < n; {
+		key := k.pairs[i].Key
+		j := i
+		for j < n && k.pairs[j].Key == key {
+			j++
+		}
+		fn(key, i, j)
+		i = j
+	}
+	return nil
+}
+
+// ReduceAll performs unkeyed reduction across every record of the KPA,
+// loading value column valCol through the pointers.
+func ReduceAll(k *KPA, valCol int, agg Agg) error {
+	for _, p := range k.pairs {
+		src, r := k.Deref(p.Ptr)
+		if valCol < 0 || valCol >= src.Schema().NumCols {
+			return fmt.Errorf("kpa: reduce value column %d out of range", valCol)
+		}
+		agg.Add(src.At(r, valCol))
+	}
+	return nil
+}
+
+// ReduceKeyedDemand returns the virtual cost of a keyed reduction.
+func ReduceKeyedDemand(k *KPA) memsim.Demand {
+	return memsim.ReduceKeyedDemand(k.Tier(), k.Len())
+}

@@ -1,0 +1,208 @@
+// Package mempool implements the engine's custom slab allocator over the
+// two memory tiers (paper §5.1). Allocations are rounded up to fixed size
+// classes tuned to typical KPA, bundle and window sizes; the pool tracks
+// free capacity per tier, which feeds the runtime's resource monitor, and
+// keeps a small reserved HBM region for Urgent allocations.
+package mempool
+
+import (
+	"fmt"
+	"sync"
+
+	"streambox/internal/memsim"
+)
+
+// sizeClasses are the slab element sizes in bytes: 4 KiB .. 256 MiB in
+// powers of two, covering KPAs (tens of KB .. tens of MB), record bundles
+// (MBs) and window state (tens to hundreds of MB).
+var sizeClasses = func() []int64 {
+	var cs []int64
+	for s := int64(4 << 10); s <= 256<<20; s <<= 1 {
+		cs = append(cs, s)
+	}
+	return cs
+}()
+
+// ErrExhausted is returned when a tier cannot satisfy an allocation.
+type ErrExhausted struct {
+	Tier memsim.Tier
+	Want int64
+	Free int64
+}
+
+func (e *ErrExhausted) Error() string {
+	return fmt.Sprintf("mempool: %v exhausted: want %d bytes, %d free", e.Tier, e.Want, e.Free)
+}
+
+// Allocation is a live slab allocation. Free must be called exactly once.
+type Allocation struct {
+	pool    *Pool
+	tier    memsim.Tier
+	size    int64 // rounded class size actually charged
+	urgent  bool
+	freed   bool
+	Request int64 // the size the caller asked for
+}
+
+// Tier returns the tier the allocation lives on.
+func (a *Allocation) Tier() memsim.Tier { return a.tier }
+
+// Size returns the charged (class-rounded) size in bytes.
+func (a *Allocation) Size() int64 { return a.size }
+
+// Free returns the allocation to its pool. Freeing twice panics: the
+// engine's reference counting must never double-free a bundle or KPA.
+func (a *Allocation) Free() {
+	if a == nil {
+		return
+	}
+	a.pool.mu.Lock()
+	defer a.pool.mu.Unlock()
+	if a.freed {
+		panic("mempool: double free")
+	}
+	a.freed = true
+	if a.urgent {
+		a.pool.usedReserved -= a.size
+	} else {
+		a.pool.used[a.tier] -= a.size
+	}
+	a.pool.frees++
+}
+
+// Stats summarises pool activity.
+type Stats struct {
+	Allocs   int64
+	Frees    int64
+	Failures int64
+	PeakUsed [2]int64
+}
+
+// Pool is a two-tier slab allocator with capacity accounting.
+type Pool struct {
+	mu           sync.Mutex
+	cap          [2]int64
+	used         [2]int64
+	reserved     int64 // HBM set aside for Urgent allocations
+	usedReserved int64
+	peak         [2]int64
+	allocs       int64
+	frees        int64
+	failures     int64
+}
+
+// New creates a pool with tier capacities from cfg. reservedHBM bytes of
+// HBM are carved out for Urgent allocations (paper §5: "Urgent tasks
+// always allocate KPAs from a small reserved pool of HBM").
+func New(cfg memsim.Config, reservedHBM int64) *Pool {
+	if reservedHBM < 0 {
+		panic("mempool: negative reservation")
+	}
+	hbm := cfg.Tier(memsim.HBM).Capacity
+	if reservedHBM > hbm {
+		reservedHBM = hbm
+	}
+	p := &Pool{reserved: reservedHBM}
+	p.cap[memsim.HBM] = hbm - reservedHBM
+	p.cap[memsim.DRAM] = cfg.Tier(memsim.DRAM).Capacity
+	return p
+}
+
+// roundUp returns the smallest size class >= n, or n itself for jumbo
+// allocations beyond the largest class.
+func roundUp(n int64) int64 {
+	for _, c := range sizeClasses {
+		if n <= c {
+			return c
+		}
+	}
+	return n
+}
+
+// Alloc carves size bytes (class-rounded) from tier t.
+func (p *Pool) Alloc(t memsim.Tier, size int64) (*Allocation, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mempool: invalid allocation size %d", size)
+	}
+	n := roundUp(size)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.used[t]+n > p.cap[t] {
+		p.failures++
+		return nil, &ErrExhausted{Tier: t, Want: n, Free: p.cap[t] - p.used[t]}
+	}
+	p.used[t] += n
+	if p.used[t] > p.peak[t] {
+		p.peak[t] = p.used[t]
+	}
+	p.allocs++
+	return &Allocation{pool: p, tier: t, size: n, Request: size}, nil
+}
+
+// AllocUrgent carves from the reserved HBM region, falling back to the
+// general HBM pool, then DRAM, so Urgent work always gets memory.
+func (p *Pool) AllocUrgent(size int64) (*Allocation, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mempool: invalid allocation size %d", size)
+	}
+	n := roundUp(size)
+	p.mu.Lock()
+	if p.usedReserved+n <= p.reserved {
+		p.usedReserved += n
+		p.allocs++
+		p.mu.Unlock()
+		return &Allocation{pool: p, tier: memsim.HBM, size: n, urgent: true, Request: size}, nil
+	}
+	p.mu.Unlock()
+	if a, err := p.Alloc(memsim.HBM, size); err == nil {
+		return a, nil
+	}
+	return p.Alloc(memsim.DRAM, size)
+}
+
+// Used returns the bytes in use on tier t (excluding the reserved pool).
+func (p *Pool) Used(t memsim.Tier) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := p.used[t]
+	if t == memsim.HBM {
+		u += p.usedReserved
+	}
+	return u
+}
+
+// Capacity returns the allocatable bytes on tier t (the reserved HBM
+// region counts towards HBM capacity).
+func (p *Pool) Capacity(t memsim.Tier) int64 {
+	c := p.cap[t]
+	if t == memsim.HBM {
+		c += p.reserved
+	}
+	return c
+}
+
+// Free returns the unallocated bytes on tier t.
+func (p *Pool) Free(t memsim.Tier) int64 { return p.Capacity(t) - p.Used(t) }
+
+// Utilization returns Used/Capacity on tier t in [0,1].
+func (p *Pool) Utilization(t memsim.Tier) float64 {
+	c := p.Capacity(t)
+	if c == 0 {
+		return 1
+	}
+	return float64(p.Used(t)) / float64(c)
+}
+
+// Stats returns a snapshot of allocator counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Allocs: p.allocs, Frees: p.frees, Failures: p.failures, PeakUsed: p.peak}
+}
+
+// SizeClasses exposes the slab classes (for tests and documentation).
+func SizeClasses() []int64 {
+	out := make([]int64, len(sizeClasses))
+	copy(out, sizeClasses)
+	return out
+}

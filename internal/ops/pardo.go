@@ -1,0 +1,155 @@
+package ops
+
+import (
+	"streambox/internal/engine"
+	"streambox/internal/kpa"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// FilterOp is a stateless ParDo that drops records failing a predicate
+// on one column. It performs Selection over KPA (paper §4.2: "If the
+// ParDo does not produce new records, StreamBox-HBM performs Selection
+// over KPA"), leaving survivors as key/pointer pairs.
+type FilterOp struct {
+	// Label names the filter.
+	Label string
+	// Col is the tested column.
+	Col int
+	// Keep decides whether a record survives.
+	Keep func(v uint64) bool
+}
+
+var _ engine.Operator = (*FilterOp)(nil)
+
+// Name implements engine.Operator.
+func (o *FilterOp) Name() string { return "Filter:" + o.Label }
+
+// InPorts implements engine.Operator.
+func (o *FilterOp) InPorts() int { return 1 }
+
+// OnInput selects surviving pairs into a new KPA.
+func (o *FilterOp) OnInput(ctx *engine.Ctx, port int, in engine.Input) {
+	ts := in.MaxTs()
+	tier, al := ctx.PlanPlacement(ts)
+	n := int64(in.Rows())
+	var d memsim.Demand
+	if in.B != nil {
+		// Scan the column in DRAM, write survivors to the KPA tier.
+		d = ctx.GroupDemand(memsim.Demand{}.CPU(n*2).Seq(memsim.DRAM, n*8).Seq(tier, n*memsim.PairBytes), inputSchema(in))
+	} else {
+		d = ctx.GroupDemand(memsim.ScanDemand(tier, 2*n*memsim.PairBytes, n*2), inputSchema(in))
+	}
+	win := in.WinStart
+	hasWin := in.HasWin
+	ctx.Spawn(o.Name(), ts, d, func() []engine.Emission {
+		var out *kpa.KPA
+		var err error
+		if in.B != nil {
+			out, err = kpa.SelectFromBundle(in.B, o.Col, o.Keep, al)
+			if err == nil {
+				in.Release()
+			}
+		} else {
+			if in.K.Resident() != o.Col {
+				if err = kpa.KeySwap(in.K, o.Col); err == nil {
+					out, err = kpa.Select(in.K, o.Keep, al)
+				}
+			} else {
+				out, err = kpa.Select(in.K, o.Keep, al)
+			}
+			if err == nil {
+				in.Release()
+			}
+		}
+		if err != nil {
+			ctx.Errorf("select: %v", err)
+			in.Release()
+			return nil
+		}
+		if out.Len() == 0 {
+			out.Destroy()
+			return nil
+		}
+		return []engine.Emission{{Port: 0, In: engine.Input{K: out, WinStart: win, HasWin: hasWin}}}
+	})
+}
+
+// OnWatermark implements engine.Operator (stateless).
+func (o *FilterOp) OnWatermark(*engine.Ctx, int, wm.Time) {}
+
+// ProjectOp models YSB's Projection: with columnar bundles and KPA
+// extraction, projection is a no-op pass-through (paper §4.3: "We omit
+// Projection, since StreamBox-HBM stores results in DRAM"). It exists
+// so pipelines mirror the paper's Figure 1a shape.
+type ProjectOp struct {
+	// Cols lists the retained columns (informational).
+	Cols []int
+}
+
+var _ engine.Operator = (*ProjectOp)(nil)
+
+// Name implements engine.Operator.
+func (o *ProjectOp) Name() string { return "Projection" }
+
+// InPorts implements engine.Operator.
+func (o *ProjectOp) InPorts() int { return 1 }
+
+// OnInput forwards the input unchanged.
+func (o *ProjectOp) OnInput(ctx *engine.Ctx, port int, in engine.Input) {
+	ctx.Emit(0, in)
+}
+
+// OnWatermark implements engine.Operator (stateless).
+func (o *ProjectOp) OnWatermark(*engine.Ctx, int, wm.Time) {}
+
+// UnionOp merges two streams into one (Table 1's Union): it forwards
+// inputs from both ports; the engine's per-port watermark tracker
+// already emits the min watermark downstream.
+type UnionOp struct{}
+
+var _ engine.Operator = (*UnionOp)(nil)
+
+// Name implements engine.Operator.
+func (o *UnionOp) Name() string { return "Union" }
+
+// InPorts implements engine.Operator.
+func (o *UnionOp) InPorts() int { return 2 }
+
+// OnInput forwards either port's data to the single output.
+func (o *UnionOp) OnInput(ctx *engine.Ctx, port int, in engine.Input) {
+	ctx.Emit(0, in)
+}
+
+// OnWatermark implements engine.Operator (merging handled by engine).
+func (o *UnionOp) OnWatermark(*engine.Ctx, int, wm.Time) {}
+
+// SampleOp keeps every Nth record (a ParDo that subsets without new
+// records, like Filter).
+type SampleOp struct {
+	// Every keeps one record in Every (must be >= 1).
+	Every uint64
+	// Col is the column sampled on (hashed).
+	Col int
+}
+
+var _ engine.Operator = (*SampleOp)(nil)
+
+// Name implements engine.Operator.
+func (o *SampleOp) Name() string { return "Sample" }
+
+// InPorts implements engine.Operator.
+func (o *SampleOp) InPorts() int { return 1 }
+
+// OnInput delegates to a filter on the sampled column.
+func (o *SampleOp) OnInput(ctx *engine.Ctx, port int, in engine.Input) {
+	every := o.Every
+	if every == 0 {
+		every = 1
+	}
+	f := &FilterOp{Label: "sample", Col: o.Col, Keep: func(v uint64) bool { return v%every == 0 }}
+	f.OnInput(ctx, port, in)
+}
+
+// OnWatermark implements engine.Operator (stateless).
+func (o *SampleOp) OnWatermark(*engine.Ctx, int, wm.Time) {}

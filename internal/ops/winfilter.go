@@ -1,0 +1,139 @@
+package ops
+
+import (
+	"streambox/internal/engine"
+	"streambox/internal/kpa"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// WindowedFilterOp implements benchmark 8: it takes two windowed
+// streams, computes the per-window average of the control stream's
+// value column (port 0), and at window closure filters the data
+// stream's records (port 1) to those whose value exceeds that average,
+// emitting the survivors as full records.
+type WindowedFilterOp struct {
+	// ValCol is the value column on both streams.
+	ValCol int
+
+	avg  map[wm.Time]*avgPartial
+	data *windowState
+}
+
+var _ engine.Operator = (*WindowedFilterOp)(nil)
+
+// NewWindowedFilter creates the operator.
+func NewWindowedFilter(valCol int) *WindowedFilterOp {
+	return &WindowedFilterOp{
+		ValCol: valCol,
+		avg:    make(map[wm.Time]*avgPartial),
+		data:   newWindowState(),
+	}
+}
+
+// Name implements engine.Operator.
+func (o *WindowedFilterOp) Name() string { return "WindowedFilter" }
+
+// InPorts implements engine.Operator: control (0) and data (1).
+func (o *WindowedFilterOp) InPorts() int { return 2 }
+
+// OnInput folds control-stream values into the window average or
+// key-swaps data-stream KPAs to the value column and stores them.
+func (o *WindowedFilterOp) OnInput(ctx *engine.Ctx, port int, in engine.Input) {
+	if !in.HasWin {
+		ctx.Errorf("windowed filter requires windowed input")
+		in.Release()
+		return
+	}
+	win := in.WinStart
+	if port == 0 {
+		d := ctx.GroupDemand(memsim.ReduceKeyedDemand(tierOf(in), in.Rows()), inputSchema(in))
+		ctx.Spawn("winfilter:avg", win, d, func() []engine.Emission {
+			agg := &SumAgg{}
+			n := uint64(in.Rows())
+			switch {
+			case in.K != nil:
+				if err := kpa.ReduceAll(in.K, o.ValCol, agg); err != nil {
+					ctx.Errorf("reduce: %v", err)
+					in.Release()
+					return nil
+				}
+			case in.B != nil:
+				for _, v := range in.B.Col(o.ValCol) {
+					agg.Add(v)
+				}
+			}
+			p := o.avg[win]
+			if p == nil {
+				p = &avgPartial{}
+				o.avg[win] = p
+			}
+			p.sum += agg.Result()
+			p.n += n
+			in.Release()
+			return nil
+		})
+		return
+	}
+	// Data stream: hold KPAs keyed by the value column for closure-time
+	// selection.
+	tier, al := ctx.PlanPlacement(win)
+	d := ensureKPADemand(ctx, in, o.ValCol, tier, false)
+	ctx.Spawn("winfilter:stage", win, d, func() []engine.Emission {
+		k := toKeyedKPA(ctx, in, o.ValCol, al, false)
+		if k == nil {
+			return nil
+		}
+		o.data.add(win, k)
+		return nil
+	})
+}
+
+// OnWatermark filters and materializes the data stream of every closed
+// window against the control stream's average.
+func (o *WindowedFilterOp) OnWatermark(ctx *engine.Ctx, port int, w wm.Time) {
+	// Drop control partials for closed windows that saw no data.
+	for start := range o.avg {
+		if ctx.Windowing().End(start) <= w {
+			if _, hasData := o.data.runs[start]; !hasData {
+				delete(o.avg, start)
+			}
+		}
+	}
+	for _, win := range o.data.closable(ctx.Windowing(), w) {
+		runs := o.data.take(win)
+		p := o.avg[win]
+		delete(o.avg, win)
+		threshold := uint64(0)
+		if p != nil && p.n > 0 {
+			threshold = p.sum / p.n
+		}
+		for _, run := range runs {
+			run := run
+			winStart := win
+			n := int64(run.Len())
+			d := memsim.ScanDemand(run.Tier(), 2*n*memsim.PairBytes, n*2)
+			md := kpa.MaterializeDemand(run, ResultSchema.RecordBytes())
+			d.Phases = append(d.Phases, md.Phases...)
+			ctx.SpawnTagged("winfilter:select", engine.Urgent, d, func() []engine.Emission {
+				sel, err := kpa.Select(run, func(v uint64) bool { return v > threshold }, ctx.AllocTagged(engine.Urgent))
+				run.Destroy()
+				if err != nil {
+					ctx.Errorf("select: %v", err)
+					return nil
+				}
+				if sel.Len() == 0 {
+					sel.Destroy()
+					return nil
+				}
+				out, err := kpa.Materialize(sel, ctx.NewBuilder)
+				sel.Destroy()
+				if err != nil {
+					ctx.Errorf("materialize: %v", err)
+					return nil
+				}
+				return []engine.Emission{{Port: 0, In: engine.Input{B: out, WinStart: winStart, HasWin: true}}}
+			})
+		}
+	}
+}

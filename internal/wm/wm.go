@@ -1,0 +1,182 @@
+// Package wm implements event-time windowing and watermark tracking
+// (paper §2.1). Streams carry watermark records guaranteeing that all
+// subsequent record timestamps are later; windows close when the
+// watermark passes their end. The engine's target watermark — the next
+// window to close — defines the critical path used for performance
+// impact tags (paper §5).
+package wm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Time is an event timestamp in stream time units (the benchmarks use
+// one unit per paper "event-time nanosecond"; only ordering and window
+// arithmetic matter).
+type Time = uint64
+
+// Windowing describes fixed or sliding event-time windows.
+type Windowing struct {
+	// Size is the window length.
+	Size Time
+	// Slide is the distance between window starts; Slide == Size (or 0,
+	// normalized to Size) is a fixed window.
+	Slide Time
+}
+
+// Fixed returns a fixed (tumbling) windowing of the given size.
+func Fixed(size Time) Windowing { return Windowing{Size: size, Slide: size} }
+
+// Sliding returns a sliding windowing.
+func Sliding(size, slide Time) Windowing { return Windowing{Size: size, Slide: slide} }
+
+// Validate reports configuration errors.
+func (w Windowing) Validate() error {
+	if w.Size == 0 {
+		return fmt.Errorf("wm: window size must be positive")
+	}
+	if w.Slide > w.Size {
+		return fmt.Errorf("wm: slide %d larger than size %d", w.Slide, w.Size)
+	}
+	return nil
+}
+
+func (w Windowing) slide() Time {
+	if w.Slide == 0 {
+		return w.Size
+	}
+	return w.Slide
+}
+
+// IsFixed reports whether the windowing tumbles.
+func (w Windowing) IsFixed() bool { return w.slide() == w.Size }
+
+// WindowOf returns the start of the last window containing ts (for
+// fixed windows, the unique one).
+func (w Windowing) WindowOf(ts Time) Time {
+	return ts / w.slide() * w.slide()
+}
+
+// WindowsOf returns the starts of every window containing ts, ascending
+// (a single element for fixed windows).
+func (w Windowing) WindowsOf(ts Time) []Time {
+	s := w.slide()
+	last := ts / s * s
+	var starts []Time
+	for start := last; ; start -= s {
+		if start+w.Size > ts {
+			starts = append(starts, start)
+		}
+		if start < s { // would underflow
+			break
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts
+}
+
+// End returns the end (exclusive) of the window starting at start.
+func (w Windowing) End(start Time) Time { return start + w.Size }
+
+// Boundaries returns the window-start boundaries covering [lo, hi],
+// suitable as Partition key ranges for the Windowing operator.
+func (w Windowing) Boundaries(lo, hi Time) []Time {
+	s := w.slide()
+	first := w.WindowOf(lo)
+	var out []Time
+	for b := first; b <= hi; b += s {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Window identifies one window instance.
+type Window struct {
+	Start Time
+	End   Time
+}
+
+func (w Window) String() string { return fmt.Sprintf("[%d,%d)", w.Start, w.End) }
+
+// Contains reports whether ts falls inside the window.
+func (w Window) Contains(ts Time) bool { return ts >= w.Start && ts < w.End }
+
+// Tracker maintains the watermark of a stream (possibly merged from
+// several inputs: the effective watermark is the minimum).
+type Tracker struct {
+	mu     sync.Mutex
+	inputs map[int]Time
+	single Time
+	seen   bool
+}
+
+// NewTracker creates a tracker for n upstream inputs; n == 1 is the
+// common single-source case.
+func NewTracker(n int) *Tracker {
+	t := &Tracker{}
+	if n > 1 {
+		t.inputs = make(map[int]Time, n)
+		for i := 0; i < n; i++ {
+			t.inputs[i] = 0
+		}
+	}
+	return t
+}
+
+// Advance moves input i's watermark to ts (monotonically) and returns
+// the effective stream watermark.
+func (t *Tracker) Advance(i int, ts Time) Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inputs == nil {
+		if ts > t.single {
+			t.single = ts
+		}
+		t.seen = true
+		return t.single
+	}
+	if ts > t.inputs[i] {
+		t.inputs[i] = ts
+	}
+	t.seen = true
+	return t.minLocked()
+}
+
+// Current returns the effective watermark.
+func (t *Tracker) Current() Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inputs == nil {
+		return t.single
+	}
+	return t.minLocked()
+}
+
+func (t *Tracker) minLocked() Time {
+	first := true
+	var min Time
+	for _, v := range t.inputs {
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	return min
+}
+
+// ClosedWindows returns the starts of all windows that end at or before
+// the watermark and start at or after from, ascending — the windows now
+// safe to externalize.
+func (w Windowing) ClosedWindows(from, watermark Time) []Time {
+	if err := w.Validate(); err != nil {
+		return nil
+	}
+	s := w.slide()
+	var out []Time
+	for start := from; start+w.Size <= watermark; start += s {
+		out = append(out, start)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package wm
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowingValidate(t *testing.T) {
+	if err := Fixed(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sliding(10, 5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Windowing{Size: 0}).Validate(); err == nil {
+		t.Error("zero size must fail")
+	}
+	if err := Sliding(10, 20).Validate(); err == nil {
+		t.Error("slide > size must fail")
+	}
+}
+
+func TestFixedWindowOf(t *testing.T) {
+	w := Fixed(10)
+	cases := []struct{ ts, want Time }{
+		{0, 0}, {9, 0}, {10, 10}, {15, 10}, {20, 20},
+	}
+	for _, c := range cases {
+		if got := w.WindowOf(c.ts); got != c.want {
+			t.Errorf("WindowOf(%d) = %d, want %d", c.ts, got, c.want)
+		}
+	}
+	if !w.IsFixed() {
+		t.Error("Fixed must be fixed")
+	}
+	if w.End(10) != 20 {
+		t.Error("End wrong")
+	}
+}
+
+func TestSlidingWindowsOf(t *testing.T) {
+	w := Sliding(10, 5)
+	if w.IsFixed() {
+		t.Error("sliding must not be fixed")
+	}
+	got := w.WindowsOf(12)
+	// ts=12 belongs to windows starting at 5 and 10.
+	want := []Time{5, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WindowsOf(12) = %v, want %v", got, want)
+	}
+	// Near zero: no underflow.
+	got = w.WindowsOf(3)
+	if !reflect.DeepEqual(got, []Time{0}) {
+		t.Fatalf("WindowsOf(3) = %v", got)
+	}
+	got = w.WindowsOf(7)
+	if !reflect.DeepEqual(got, []Time{0, 5}) {
+		t.Fatalf("WindowsOf(7) = %v", got)
+	}
+}
+
+func TestFixedWindowsOfSingle(t *testing.T) {
+	w := Fixed(10)
+	got := w.WindowsOf(15)
+	if !reflect.DeepEqual(got, []Time{10}) {
+		t.Fatalf("WindowsOf(15) = %v", got)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	w := Fixed(10)
+	got := w.Boundaries(12, 35)
+	want := []Time{10, 20, 30}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Boundaries = %v, want %v", got, want)
+	}
+	if b := w.Boundaries(5, 5); !reflect.DeepEqual(b, []Time{0}) {
+		t.Fatalf("point boundaries = %v", b)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: 10, End: 20}
+	if !w.Contains(10) || !w.Contains(19) {
+		t.Error("inclusive start / last tick")
+	}
+	if w.Contains(20) || w.Contains(9) {
+		t.Error("exclusive end / before start")
+	}
+	if w.String() != "[10,20)" {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestTrackerSingleInput(t *testing.T) {
+	tr := NewTracker(1)
+	if tr.Current() != 0 {
+		t.Error("initial watermark must be 0")
+	}
+	if got := tr.Advance(0, 100); got != 100 {
+		t.Errorf("advance = %d", got)
+	}
+	// Monotone: regressions are ignored.
+	if got := tr.Advance(0, 50); got != 100 {
+		t.Errorf("watermark regressed to %d", got)
+	}
+}
+
+func TestTrackerMultiInputMin(t *testing.T) {
+	tr := NewTracker(3)
+	tr.Advance(0, 100)
+	tr.Advance(1, 50)
+	if tr.Current() != 0 {
+		t.Errorf("watermark = %d, want 0 (input 2 silent)", tr.Current())
+	}
+	tr.Advance(2, 80)
+	if tr.Current() != 50 {
+		t.Errorf("watermark = %d, want min 50", tr.Current())
+	}
+	tr.Advance(1, 90)
+	if tr.Current() != 80 {
+		t.Errorf("watermark = %d, want 80", tr.Current())
+	}
+}
+
+func TestClosedWindows(t *testing.T) {
+	w := Fixed(10)
+	got := w.ClosedWindows(0, 35)
+	want := []Time{0, 10, 20}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("closed = %v, want %v", got, want)
+	}
+	if w.ClosedWindows(0, 9) != nil {
+		t.Error("no window closes before size")
+	}
+	got = w.ClosedWindows(20, 45)
+	if !reflect.DeepEqual(got, []Time{20, 30}) {
+		t.Fatalf("closed from 20 = %v", got)
+	}
+	if (Windowing{}).ClosedWindows(0, 100) != nil {
+		t.Error("invalid windowing yields nothing")
+	}
+}
+
+func TestSlidingClosedWindows(t *testing.T) {
+	w := Sliding(10, 5)
+	got := w.ClosedWindows(0, 21)
+	want := []Time{0, 5, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("closed = %v, want %v", got, want)
+	}
+}
+
+// Property: every window returned by WindowsOf contains ts, and the
+// fixed-window special case matches WindowOf.
+func TestPropWindowsOfContain(t *testing.T) {
+	f := func(rawTs uint32, rawSize, rawSlide uint8) bool {
+		size := Time(rawSize%50) + 1
+		slide := Time(rawSlide%uint8(size)) + 1
+		w := Sliding(size, slide)
+		ts := Time(rawTs % 10000)
+		wins := w.WindowsOf(ts)
+		if len(wins) == 0 {
+			return false
+		}
+		for _, s := range wins {
+			if !(Window{Start: s, End: w.End(s)}).Contains(ts) {
+				return false
+			}
+		}
+		// Count check: approximately size/slide windows contain ts.
+		return len(wins) <= int(size/slide)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClosedWindows returns exactly the windows whose end is at or
+// before the watermark.
+func TestPropClosedWindows(t *testing.T) {
+	f := func(rawWM uint16, rawSize uint8) bool {
+		size := Time(rawSize%30) + 1
+		w := Fixed(size)
+		watermark := Time(rawWM % 2000)
+		closed := w.ClosedWindows(0, watermark)
+		for _, s := range closed {
+			if s+size > watermark {
+				return false
+			}
+		}
+		expect := int(watermark / size)
+		return len(closed) == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

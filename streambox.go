@@ -1,0 +1,421 @@
+// Package streambox is a Go reproduction of StreamBox-HBM (ASPLOS '19):
+// a stream analytics engine for hybrid high-bandwidth memories. Users
+// declare pipelines of grouping and reduction operators (the Apache
+// Beam style of the paper's Listing 1); the runtime executes them over
+// a simulated KNL-class hybrid memory, extracting Key Pointer Arrays
+// into HBM, grouping with sequential-access merge-sort, and balancing
+// HBM capacity against DRAM bandwidth with a demand-balance knob.
+//
+// A minimal pipeline (compare the paper's Listing 1):
+//
+//	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+//	results := p.Source(streambox.KV(streambox.KVConfig{Keys: 1024}),
+//	        streambox.DefaultSource(20_000_000)).
+//	    SumPerKey(0, 1).
+//	    Capture()
+//	report, err := streambox.Run(p, streambox.RunConfig{Cores: 64, Duration: 2})
+package streambox
+
+import (
+	"fmt"
+
+	"streambox/internal/algo"
+	"streambox/internal/engine"
+	"streambox/internal/ingress"
+	"streambox/internal/memsim"
+	"streambox/internal/ops"
+	"streambox/internal/wm"
+)
+
+// EventTime is a stream timestamp in event-time ticks.
+type EventTime = wm.Time
+
+// Second is one second of event time in ticks (the generators emit
+// WindowRecords records per window of event time, so only ratios
+// matter; one million ticks per second keeps numbers readable).
+const Second EventTime = 1_000_000
+
+// WindowSpec declares the pipeline's temporal windowing.
+type WindowSpec struct{ w wm.Windowing }
+
+// FixedWindow declares tumbling windows of the given size.
+func FixedWindow(size EventTime) WindowSpec { return WindowSpec{wm.Fixed(size)} }
+
+// SlidingWindow declares sliding windows.
+func SlidingWindow(size, slide EventTime) WindowSpec { return WindowSpec{wm.Sliding(size, slide)} }
+
+// Generator produces stream records; see KV, YSB and PowerGridSource
+// for built-ins, or implement engine.Generator semantics via custom
+// code in this module.
+type Generator = engine.Generator
+
+// SourceConfig configures one ingress stream: offered rate, bundle
+// size, event-time density and watermark cadence.
+type SourceConfig = engine.SourceConfig
+
+// DefaultSource returns a sensible source at the given offered rate
+// (records/second): 10k-record bundles, 1M records per window of event
+// time, a watermark per window.
+func DefaultSource(rate float64) SourceConfig {
+	return SourceConfig{
+		Name:           "source",
+		Rate:           rate,
+		BundleRecords:  10_000,
+		WindowRecords:  1_000_000,
+		WatermarkEvery: 100,
+	}
+}
+
+// KVConfig configures the synthetic key/value stream.
+type KVConfig = ingress.KVConfig
+
+// KV returns the random key/value generator (benchmarks 1–8).
+func KV(cfg KVConfig) Generator { return ingress.NewKV(cfg) }
+
+// RoundRobinKV returns a deterministic key/value generator (keys cycle
+// 0..keys-1 with a constant value) whose aggregates are exactly
+// predictable — useful for testing pipelines.
+func RoundRobinKV(keys, value uint64) Generator { return ingress.NewRoundRobinKV(keys, value) }
+
+// YSBConfig configures the Yahoo streaming benchmark stream.
+type YSBConfig = ingress.YSBConfig
+
+// YSB returns the Yahoo streaming benchmark generator.
+func YSB(cfg YSBConfig) *ingress.YSBGen { return ingress.NewYSB(cfg) }
+
+// PowerGridConfig configures the synthetic DEBS'14-style plug stream.
+type PowerGridConfig = ingress.PowerGridConfig
+
+// PowerGridSource returns the smart-plug generator (benchmark 9).
+func PowerGridSource(cfg PowerGridConfig) Generator { return ingress.NewPowerGrid(cfg) }
+
+// Placement selects the KPA placement policy (§7.3 ablations).
+type Placement = engine.Placement
+
+// Placement policies.
+const (
+	// Managed is StreamBox-HBM's software placement (default).
+	Managed = engine.PlacementManaged
+	// DRAMOnly places every KPA in DRAM.
+	DRAMOnly = engine.PlacementDRAM
+	// CacheMode leaves placement to hardware caching.
+	CacheMode = engine.PlacementCache
+)
+
+// RunConfig configures one execution.
+type RunConfig struct {
+	// Machine simulates this hardware; zero value means KNL (Table 3).
+	Machine memsim.Config
+	// Cores restricts the core count (0 = all of Machine's cores).
+	Cores int
+	// Duration is the virtual runtime in seconds.
+	Duration float64
+	// Placement selects the KPA placement policy.
+	Placement Placement
+	// NoKPA disables key/pointer extraction (grouping on full records).
+	NoKPA bool
+	// TargetDelay is the output-delay objective in seconds (default 1).
+	TargetDelay float64
+	// Seed drives placement randomness.
+	Seed int64
+	// RecordSeries captures the monitor time series in the report.
+	RecordSeries bool
+}
+
+// KNL returns the paper's Knights Landing machine (Table 3).
+func KNL() memsim.Config { return memsim.KNLConfig() }
+
+// X56 returns the paper's 56-core Xeon comparison machine (Table 3).
+func X56() memsim.Config { return memsim.X56Config() }
+
+// Report summarises one run.
+type Report struct {
+	// IngestedRecords and Throughput (records/second of virtual time).
+	IngestedRecords int64
+	Throughput      float64
+	// EmittedRecords counts result records at sinks.
+	EmittedRecords int64
+	// WindowsClosed and output delays (virtual seconds).
+	WindowsClosed int
+	AvgDelay      float64
+	MaxDelay      float64
+	// PeakHBMBW / PeakDRAMBW are peak bandwidths in bytes/second.
+	PeakHBMBW  float64
+	PeakDRAMBW float64
+	// Series is the monitor time series when requested.
+	Series []engine.Sample
+}
+
+// Pipeline is a declarative operator graph, built with Stream methods
+// and executed by Run.
+type Pipeline struct {
+	win     WindowSpec
+	sources []sourceDecl
+	stages  []*stageDecl
+	sinks   []*Captured
+}
+
+type sourceDecl struct {
+	gen   Generator
+	cfg   SourceConfig
+	stage *stageDecl
+	port  int
+}
+
+type stageDecl struct {
+	id    int
+	mk    func() engine.Operator
+	built engine.Operator
+	down  []edge
+}
+
+type edge struct {
+	to      *stageDecl
+	outPort int
+	inPort  int
+}
+
+// Stream is a handle to one pipeline stage's output.
+type Stream struct {
+	p     *Pipeline
+	stage *stageDecl
+}
+
+// Captured receives a sink's results after Run.
+type Captured struct {
+	sink *ops.CaptureSink
+	// Rows holds (key, value, window) result triples.
+	Rows []ops.CapturedRow
+	// Records counts result records.
+	Records int64
+}
+
+// NewPipeline starts an empty pipeline with the given windowing.
+func NewPipeline(win WindowSpec) *Pipeline {
+	return &Pipeline{win: win}
+}
+
+func (p *Pipeline) addStage(mk func() engine.Operator) *stageDecl {
+	s := &stageDecl{id: len(p.stages), mk: mk}
+	p.stages = append(p.stages, s)
+	return s
+}
+
+// Source attaches a generator and returns its record stream.
+func (p *Pipeline) Source(gen Generator, cfg SourceConfig) Stream {
+	entry := p.addStage(func() engine.Operator { return &ops.ProjectOp{} })
+	p.sources = append(p.sources, sourceDecl{gen: gen, cfg: cfg, stage: entry})
+	return Stream{p: p, stage: entry}
+}
+
+func (s Stream) then(mk func() engine.Operator) Stream {
+	next := s.p.addStage(mk)
+	s.stage.down = append(s.stage.down, edge{to: next})
+	return Stream{p: s.p, stage: next}
+}
+
+// Filter keeps records whose column col satisfies keep (ParDo/Filter).
+func (s Stream) Filter(label string, col int, keep func(uint64) bool) Stream {
+	return s.then(func() engine.Operator { return &ops.FilterOp{Label: label, Col: col, Keep: keep} })
+}
+
+// Sample keeps one record in every (ParDo/Sample).
+func (s Stream) Sample(col int, every uint64) Stream {
+	return s.then(func() engine.Operator { return &ops.SampleOp{Col: col, Every: every} })
+}
+
+// Project declares a projection (a no-op with columnar storage, kept
+// for pipeline shape fidelity).
+func (s Stream) Project(cols ...int) Stream {
+	return s.then(func() engine.Operator { return &ops.ProjectOp{Cols: cols} })
+}
+
+// ExternalJoin maps column keyCol through a key-value table (YSB's
+// campaign join), writing results back to the records.
+func (s Stream) ExternalJoin(label string, keyCol int, table *algo.HashTable) Stream {
+	return s.then(func() engine.Operator {
+		return &ops.ExternalJoinOp{Label: label, KeyCol: keyCol, Table: table}
+	})
+}
+
+// Window assigns records to temporal windows by timestamp column.
+func (s Stream) Window(tsCol int) Stream {
+	return s.then(func() engine.Operator { return &ops.WindowOp{TsCol: tsCol} })
+}
+
+// SumPerKey aggregates value sums per key per window. The input must be
+// windowed (call Window first).
+func (s Stream) SumPerKey(keyCol, valCol int) Stream {
+	return s.then(func() engine.Operator { return ops.NewKeyedAgg("sum", keyCol, valCol, ops.Sum()) })
+}
+
+// CountPerKey counts records per key per window.
+func (s Stream) CountPerKey(keyCol int) Stream {
+	return s.then(func() engine.Operator { return ops.NewKeyedAgg("count", keyCol, keyCol, ops.Count()) })
+}
+
+// AvgPerKey averages values per key per window.
+func (s Stream) AvgPerKey(keyCol, valCol int) Stream {
+	return s.then(func() engine.Operator { return ops.NewKeyedAgg("avg", keyCol, valCol, ops.Avg()) })
+}
+
+// MedianPerKey computes per-key medians per window.
+func (s Stream) MedianPerKey(keyCol, valCol int) Stream {
+	return s.then(func() engine.Operator { return ops.NewKeyedAgg("median", keyCol, valCol, ops.Median()) })
+}
+
+// TopKPerKey reports the k-th largest value per key per window.
+func (s Stream) TopKPerKey(keyCol, valCol, k int) Stream {
+	return s.then(func() engine.Operator { return ops.NewKeyedAgg("topk", keyCol, valCol, ops.TopK(k)) })
+}
+
+// UniqueCountPerKey counts distinct values per key per window.
+func (s Stream) UniqueCountPerKey(keyCol, valCol int) Stream {
+	return s.then(func() engine.Operator { return ops.NewKeyedAgg("unique", keyCol, valCol, ops.UniqueCount()) })
+}
+
+// PercentilePerKey reports the p-th percentile per key per window.
+func (s Stream) PercentilePerKey(keyCol, valCol, p int) Stream {
+	return s.then(func() engine.Operator { return ops.NewKeyedAgg("pctl", keyCol, valCol, ops.Percentile(p)) })
+}
+
+// AvgAll averages one column across each window.
+func (s Stream) AvgAll(valCol int) Stream {
+	return s.then(func() engine.Operator { return ops.NewAvgAll(valCol) })
+}
+
+// PowerGrid runs the DEBS'14-style top-house analysis.
+func (s Stream) PowerGrid() Stream {
+	return s.then(func() engine.Operator { return ops.NewPowerGrid() })
+}
+
+// Join temporally joins two windowed streams by keyCol, carrying valCol
+// from both sides.
+func (s Stream) Join(other Stream, keyCol, valCol int) Stream {
+	if other.p != s.p {
+		panic("streambox: joining streams from different pipelines")
+	}
+	next := s.p.addStage(func() engine.Operator { return ops.NewTemporalJoin(keyCol, valCol) })
+	s.stage.down = append(s.stage.down, edge{to: next, inPort: 0})
+	other.stage.down = append(other.stage.down, edge{to: next, inPort: 1})
+	return Stream{p: s.p, stage: next}
+}
+
+// FilterByAvg filters this (windowed) stream by the per-window average
+// of the control stream's valCol: records with value above the average
+// survive (benchmark 8).
+func (s Stream) FilterByAvg(control Stream, valCol int) Stream {
+	if control.p != s.p {
+		panic("streambox: mixing streams from different pipelines")
+	}
+	next := s.p.addStage(func() engine.Operator { return ops.NewWindowedFilter(valCol) })
+	control.stage.down = append(control.stage.down, edge{to: next, inPort: 0})
+	s.stage.down = append(s.stage.down, edge{to: next, inPort: 1})
+	return Stream{p: s.p, stage: next}
+}
+
+// Union merges two streams.
+func (s Stream) Union(other Stream) Stream {
+	if other.p != s.p {
+		panic("streambox: mixing streams from different pipelines")
+	}
+	next := s.p.addStage(func() engine.Operator { return &ops.UnionOp{} })
+	s.stage.down = append(s.stage.down, edge{to: next, inPort: 0})
+	other.stage.down = append(other.stage.down, edge{to: next, inPort: 1})
+	return Stream{p: s.p, stage: next}
+}
+
+// Apply appends a custom operator (advanced use; op must implement
+// engine.Operator).
+func (s Stream) Apply(mk func() engine.Operator) Stream {
+	return s.then(mk)
+}
+
+// Capture terminates the stream, keeping every result record.
+func (s Stream) Capture() *Captured {
+	c := &Captured{}
+	sinkStage := s.p.addStage(func() engine.Operator {
+		c.sink = ops.NewCapture()
+		return c.sink
+	})
+	s.stage.down = append(s.stage.down, edge{to: sinkStage})
+	s.p.sinks = append(s.p.sinks, c)
+	return c
+}
+
+// Sink terminates the stream, counting results without retaining them.
+func (s Stream) Sink(name string) {
+	sinkStage := s.p.addStage(func() engine.Operator { return engine.NewEgressSink(name) })
+	s.stage.down = append(s.stage.down, edge{to: sinkStage})
+}
+
+// Run executes the pipeline for cfg.Duration virtual seconds.
+func Run(p *Pipeline, cfg RunConfig) (Report, error) {
+	if len(p.sources) == 0 {
+		return Report{}, fmt.Errorf("streambox: pipeline has no sources")
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("streambox: run duration must be positive")
+	}
+	machine := cfg.Machine
+	if machine.Cores == 0 {
+		machine = memsim.KNLConfig()
+	}
+	if cfg.Cores > 0 {
+		machine = machine.WithCores(cfg.Cores)
+	}
+	ecfg := engine.Config{
+		Machine:        machine,
+		Win:            p.win.w,
+		Placement:      cfg.Placement,
+		UseKPA:         !cfg.NoKPA,
+		TargetDelaySec: cfg.TargetDelay,
+		Seed:           cfg.Seed,
+		RecordSeries:   cfg.RecordSeries,
+	}
+	e, err := engine.New(ecfg)
+	if err != nil {
+		return Report{}, err
+	}
+	// Build operator instances and wire the graph.
+	enodes := make([]*engine.Node, len(p.stages))
+	for i, st := range p.stages {
+		st.built = st.mk()
+		enodes[i] = e.AddOperator(st.built)
+	}
+	for i, st := range p.stages {
+		for _, ed := range st.down {
+			e.Connect(enodes[i], ed.outPort, enodes[ed.to.id], ed.inPort)
+		}
+	}
+	for _, sd := range p.sources {
+		if _, err := e.AddSource(sd.gen, sd.cfg, enodes[sd.stage.id], sd.port); err != nil {
+			return Report{}, err
+		}
+	}
+	stats, err := e.Run(cfg.Duration)
+	if err != nil {
+		return Report{}, err
+	}
+	for _, c := range p.sinks {
+		if c.sink != nil {
+			c.Rows = c.sink.Rows
+			c.Records = c.sink.Records
+		}
+	}
+	elapsed := e.Sim.Now()
+	rep := Report{
+		IngestedRecords: stats.IngestedRecords,
+		EmittedRecords:  stats.EmittedRecords,
+		WindowsClosed:   stats.WindowsClosed,
+		AvgDelay:        stats.AvgDelay(),
+		MaxDelay:        stats.MaxDelay(),
+		PeakHBMBW:       e.Sim.PeakBW(memsim.HBM),
+		PeakDRAMBW:      e.Sim.PeakBW(memsim.DRAM),
+		Series:          stats.Series,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(stats.IngestedRecords) / elapsed
+	}
+	return rep, nil
+}

@@ -1,0 +1,221 @@
+package streambox_test
+
+import (
+	"testing"
+
+	streambox "streambox"
+	"streambox/internal/ingress"
+)
+
+func smallSource(rate float64) streambox.SourceConfig {
+	return streambox.SourceConfig{
+		Name:           "test",
+		Rate:           rate,
+		BundleRecords:  1000,
+		WindowRecords:  4000,
+		WatermarkEvery: 4,
+	}
+}
+
+func TestQuickstartPipeline(t *testing.T) {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	res := p.Source(streambox.RoundRobinKV(8, 1), smallSource(2e6)).
+		Window(2).
+		SumPerKey(0, 1).
+		Capture()
+	rep, err := streambox.Run(p, streambox.RunConfig{Cores: 64, Duration: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IngestedRecords == 0 || rep.Throughput == 0 {
+		t.Fatal("no throughput")
+	}
+	if rep.WindowsClosed == 0 {
+		t.Fatal("no windows closed")
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no results captured")
+	}
+	for _, r := range res.Rows {
+		if r.Val != 4000/8 {
+			t.Fatalf("sum = %d, want %d", r.Val, 4000/8)
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	if _, err := streambox.Run(p, streambox.RunConfig{Duration: 1}); err == nil {
+		t.Fatal("pipeline without sources must fail")
+	}
+	p2 := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	p2.Source(streambox.RoundRobinKV(2, 1), smallSource(1e6)).Sink("out")
+	if _, err := streambox.Run(p2, streambox.RunConfig{}); err == nil {
+		t.Fatal("zero duration must fail")
+	}
+	bad := streambox.NewPipeline(streambox.FixedWindow(0))
+	bad.Source(streambox.RoundRobinKV(2, 1), smallSource(1e6)).Sink("out")
+	if _, err := streambox.Run(bad, streambox.RunConfig{Duration: 1}); err == nil {
+		t.Fatal("invalid windowing must fail")
+	}
+}
+
+func TestJoinPipeline(t *testing.T) {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	left := p.Source(streambox.RoundRobinKV(50, 1), smallSource(2e6)).Window(2)
+	right := p.Source(streambox.RoundRobinKV(50, 2), smallSource(2e6)).Window(2)
+	res := left.Join(right, 0, 1).Capture()
+	rep, err := streambox.Run(p, streambox.RunConfig{Duration: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("join produced nothing")
+	}
+	_ = rep
+}
+
+func TestRunConfigVariants(t *testing.T) {
+	run := func(cfg streambox.RunConfig) streambox.Report {
+		p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+		p.Source(streambox.RoundRobinKV(16, 1), smallSource(2e6)).
+			Window(2).
+			CountPerKey(0).
+			Sink("out")
+		cfg.Duration = 0.01
+		rep, err := streambox.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	for _, pl := range []streambox.Placement{streambox.Managed, streambox.DRAMOnly, streambox.CacheMode} {
+		rep := run(streambox.RunConfig{Placement: pl})
+		if rep.IngestedRecords == 0 {
+			t.Fatalf("placement %v ingested nothing", pl)
+		}
+	}
+	rep := run(streambox.RunConfig{NoKPA: true, Placement: streambox.CacheMode})
+	if rep.IngestedRecords == 0 {
+		t.Fatal("NoKPA run ingested nothing")
+	}
+	// Restricted cores still work.
+	rep = run(streambox.RunConfig{Cores: 2})
+	if rep.IngestedRecords == 0 {
+		t.Fatal("2-core run ingested nothing")
+	}
+	// X56 machine.
+	rep = run(streambox.RunConfig{Machine: streambox.X56(), Placement: streambox.DRAMOnly})
+	if rep.IngestedRecords == 0 {
+		t.Fatal("X56 run ingested nothing")
+	}
+}
+
+func TestYSBPublicPipeline(t *testing.T) {
+	gen := streambox.YSB(streambox.YSBConfig{Ads: 100, Campaigns: 10, Seed: 1})
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	res := p.Source(gen, smallSource(2e6)).
+		Filter("views", ingress.YSBEventType, func(v uint64) bool { return v == ingress.YSBEventView }).
+		Project(ingress.YSBAdID, ingress.YSBEventTime).
+		ExternalJoin("campaigns", ingress.YSBAdID, gen.CampaignTable()).
+		Window(ingress.YSBEventTime).
+		CountPerKey(ingress.YSBAdID).
+		Capture()
+	rep, err := streambox.Run(p, streambox.RunConfig{Duration: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowsClosed == 0 || len(res.Rows) == 0 {
+		t.Fatal("YSB produced nothing")
+	}
+	for _, r := range res.Rows {
+		if r.Key >= 10 {
+			t.Fatalf("campaign %d out of range", r.Key)
+		}
+	}
+}
+
+func TestPowerGridPublicPipeline(t *testing.T) {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	res := p.Source(streambox.PowerGridSource(streambox.PowerGridConfig{Seed: 2}), smallSource(2e6)).
+		Window(2).
+		PowerGrid().
+		Capture()
+	if _, err := streambox.Run(p, streambox.RunConfig{Duration: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no top houses")
+	}
+}
+
+func TestFilterByAvgPublicPipeline(t *testing.T) {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	ctrl := p.Source(streambox.RoundRobinKV(4, 100), smallSource(2e6)).Window(2)
+	data := p.Source(streambox.KV(streambox.KVConfig{Keys: 8, ValueRange: 200, Seed: 4}), smallSource(2e6)).Window(2)
+	res := data.FilterByAvg(ctrl, 1).Capture()
+	if _, err := streambox.Run(p, streambox.RunConfig{Duration: 0.015}); err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("no survivors")
+	}
+}
+
+func TestUnionPublicPipeline(t *testing.T) {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	a := p.Source(streambox.RoundRobinKV(4, 1), smallSource(1e6))
+	b := p.Source(streambox.RoundRobinKV(4, 1), smallSource(1e6))
+	res := a.Union(b).Window(2).CountPerKey(0).Capture()
+	if _, err := streambox.Run(p, streambox.RunConfig{Duration: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("union produced nothing")
+	}
+	// Two equal sources: counts double a single source's.
+	for _, r := range res.Rows {
+		if r.Val != 2*4000/4 {
+			t.Fatalf("count = %d, want %d", r.Val, 2*4000/4)
+		}
+	}
+}
+
+func TestSlidingWindowPublic(t *testing.T) {
+	p := streambox.NewPipeline(streambox.SlidingWindow(streambox.Second, streambox.Second/2))
+	res := p.Source(streambox.RoundRobinKV(4, 1), smallSource(2e6)).
+		Window(2).
+		CountPerKey(0).
+		Capture()
+	if _, err := streambox.Run(p, streambox.RunConfig{Duration: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("sliding windows produced nothing")
+	}
+	// Interior sliding windows see a full window of records: count/key
+	// = windowRecords/keys; boundary windows see half.
+	sawFull := false
+	for _, r := range res.Rows {
+		if r.Val == 4000/4 {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("no interior sliding window had full counts")
+	}
+}
+
+func TestPercentileAndMedianPublic(t *testing.T) {
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	src := p.Source(streambox.RoundRobinKV(4, 7), smallSource(2e6)).Window(2)
+	med := src.MedianPerKey(0, 1).Capture()
+	if _, err := streambox.Run(p, streambox.RunConfig{Duration: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range med.Rows {
+		if r.Val != 7 {
+			t.Fatalf("median = %d", r.Val)
+		}
+	}
+}
