@@ -9,6 +9,7 @@ import (
 	"sort"
 	"testing"
 
+	streambox "streambox"
 	"streambox/internal/algo"
 	"streambox/internal/experiments"
 	"streambox/internal/parsefmt"
@@ -101,6 +102,29 @@ func BenchmarkFig11Parsing(b *testing.B) {
 				b.ReportMetric(r.MRecSec, "json-Mrec/s")
 			}
 		}
+	}
+}
+
+// BenchmarkNativeBackend measures the native multicore backend end to
+// end on the quickstart workload (KV → Window → SumPerKey): ingest,
+// KPA extraction, parallel sort, merge tree and windowed reduction on
+// real goroutines. The Mrec/s metric is real wall-clock throughput.
+func BenchmarkNativeBackend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+		p.Source(streambox.KV(streambox.KVConfig{Keys: 1 << 10, Seed: 1}),
+			streambox.DefaultSource(20e6)).
+			Window(2).
+			SumPerKey(0, 1).
+			Sink("out")
+		rep, err := streambox.Run(p, streambox.RunConfig{
+			Backend:  streambox.Native,
+			Duration: 0.1, // 2M records
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Throughput/1e6, "Mrec/s")
 	}
 }
 

@@ -1,15 +1,21 @@
-// Command sbx-run executes one of the paper's benchmark pipelines on
-// the simulated hybrid-memory machine and prints a run report.
+// Command sbx-run executes one of the paper's benchmark pipelines and
+// prints a run report. The default backend is the simulated
+// hybrid-memory machine; -backend native runs the keyed-aggregation
+// pipelines on the real multicore runtime and reports wall-clock
+// throughput.
 //
 //	sbx-run -pipeline ysb -rate 30e6 -cores 64 -duration 2
+//	sbx-run -backend native -pipeline sum -rate 20e6 -duration 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"sort"
 
+	streambox "streambox"
 	"streambox/internal/engine"
 	"streambox/internal/experiments"
 	"streambox/internal/memsim"
@@ -18,14 +24,25 @@ import (
 
 func main() {
 	pipeline := flag.String("pipeline", "ysb", "pipeline: ysb|topk|sum|median|avg|avgall|unique|join|winfilter|powergrid")
+	backend := flag.String("backend", "sim", "execution backend: sim|native")
 	rate := flag.Float64("rate", 20e6, "offered load, records/second")
 	cores := flag.Int("cores", 64, "simulated cores")
-	duration := flag.Float64("duration", 2.0, "virtual seconds")
+	workers := flag.Int("workers", 0, "native worker goroutines (0 = one per CPU)")
+	duration := flag.Float64("duration", 2.0, "virtual seconds (native: rate*duration records)")
 	placement := flag.String("placement", "managed", "KPA placement: managed|dram|cache")
 	noKPA := flag.Bool("nokpa", false, "group full records instead of KPAs")
 	rdma := flag.Bool("rdma", true, "RDMA ingress (false: 10 GbE)")
 	list := flag.Bool("list", false, "list pipelines and exit")
 	flag.Parse()
+
+	if *backend == "native" {
+		runNative(*pipeline, *rate, *duration, *workers)
+		return
+	}
+	if *backend != "sim" {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (sim|native)\n", *backend)
+		os.Exit(2)
+	}
 
 	workloads := map[string]experiments.Workload{
 		"ysb":       experiments.YSBWorkload(),
@@ -116,4 +133,52 @@ func main() {
 	fmt.Printf("HBM used:   %.2f GB of %.0f GB\n",
 		float64(e.Pool.Used(memsim.HBM))/float64(1<<30),
 		float64(e.Pool.Capacity(memsim.HBM))/float64(1<<30))
+}
+
+// runNative executes a keyed-aggregation pipeline on the native
+// multicore backend and prints real (wall-clock) figures.
+func runNative(pipeline string, rate, duration float64, workers int) {
+	src := streambox.SourceConfig{
+		Name:           pipeline,
+		Rate:           rate,
+		BundleRecords:  10_000,
+		WindowRecords:  1_000_000,
+		WatermarkEvery: 100,
+	}
+	gen := streambox.KV(streambox.KVConfig{Keys: 1 << 10, Seed: 1})
+	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	s := p.Source(gen, src).Window(2)
+	switch pipeline {
+	case "sum":
+		s.SumPerKey(0, 1).Sink("out")
+	case "count":
+		s.CountPerKey(0).Sink("out")
+	case "avg":
+		s.AvgPerKey(0, 1).Sink("out")
+	case "median":
+		s.MedianPerKey(0, 1).Sink("out")
+	case "topk":
+		s.TopKPerKey(0, 1, 10).Sink("out")
+	case "unique":
+		s.UniqueCountPerKey(0, 1).Sink("out")
+	default:
+		fmt.Fprintf(os.Stderr, "pipeline %q is not in the native path (sum|count|avg|median|topk|unique)\n", pipeline)
+		os.Exit(2)
+	}
+	rep, err := streambox.Run(p, streambox.RunConfig{
+		Backend:  streambox.Native,
+		Workers:  workers,
+		Duration: duration,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline error:", err)
+		os.Exit(1)
+	}
+	if workers == 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	fmt.Printf("pipeline:   %s (native backend, %d workers)\n", pipeline, workers)
+	fmt.Printf("ingested:   %d records in %.3f real s\n", rep.IngestedRecords, rep.WallSeconds)
+	fmt.Printf("throughput: %.1f M rec/s (real wall-clock)\n", rep.Throughput/1e6)
+	fmt.Printf("results:    %d records, %d windows closed\n", rep.EmittedRecords, rep.WindowsClosed)
 }

@@ -1,0 +1,3 @@
+module streambox
+
+go 1.24

@@ -162,8 +162,11 @@ func MergeInto(dst, a, b []Pair) {
 	mergeRuns(dst, a, b)
 }
 
-// MultiMerge merges k sorted runs into one sorted slice by repeated
+// MultiMerge merges k sorted runs into one sorted slice by levelwise
 // pairwise merging (the shape the engine schedules as parallel tasks).
+// All levels merge between two ping-pong buffers, like
+// ParallelSortPairs, so the whole k-way merge costs two buffers of the
+// total size instead of a fresh slice per pairwise merge per level.
 func MultiMerge(runs [][]Pair) []Pair {
 	switch len(runs) {
 	case 0:
@@ -173,17 +176,37 @@ func MultiMerge(runs [][]Pair) []Pair {
 		copy(out, runs[0])
 		return out
 	}
-	work := make([][]Pair, len(runs))
-	copy(work, runs)
-	for len(work) > 1 {
-		var next [][]Pair
-		for i := 0; i+1 < len(work); i += 2 {
-			next = append(next, MergePairs(work[i], work[i+1]))
-		}
-		if len(work)%2 == 1 {
-			next = append(next, work[len(work)-1])
-		}
-		work = next
+	n := 0
+	for _, r := range runs {
+		n += len(r)
 	}
-	return work[0]
+	src := make([]Pair, n)
+	dst := make([]Pair, n)
+	// bounds[i] is the start of run i in src; compacted in place as
+	// levels halve the run count (writes trail the reads).
+	bounds := make([]int, len(runs)+1)
+	off := 0
+	for i, r := range runs {
+		copy(src[off:], r)
+		off += len(r)
+		bounds[i+1] = off
+	}
+	for len(bounds) > 2 {
+		m := 1
+		for i := 0; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+			bounds[m] = hi
+			m++
+		}
+		if (len(bounds)-1)%2 == 1 { // odd run left over: copy through
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			bounds[m] = hi
+			m++
+		}
+		bounds = bounds[:m]
+		src, dst = dst, src
+	}
+	return src
 }

@@ -1,0 +1,39 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMultiMerge measures the k-way merge used when a window
+// closes. Run with -benchmem: the ping-pong scheme costs a constant
+// three allocations (two pair buffers + the bounds slice) regardless of
+// run count, where the old per-pairwise-merge allocation scheme cost
+// k-1 slices totalling ~log2(k) copies of the data.
+func BenchmarkMultiMerge(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("runs-%d", k), func(b *testing.B) {
+			const runLen = 1 << 14
+			rng := rand.New(rand.NewSource(3))
+			runs := make([][]Pair, k)
+			for i := range runs {
+				r := make([]Pair, runLen)
+				for j := range r {
+					r[j] = Pair{Key: rng.Uint64(), Ptr: uint64(j)}
+				}
+				SortPairs(r)
+				runs[i] = r
+			}
+			b.SetBytes(int64(k*runLen) * 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := MultiMerge(runs)
+				if len(out) != k*runLen {
+					b.Fatal("bad merge length")
+				}
+			}
+		})
+	}
+}

@@ -1,16 +1,29 @@
 package engine
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // Knob is the demand-balance knob (paper §5): a vector {k_low, k_high}
 // of probabilities for allocating new KPAs on HBM for Low- and High-
 // tagged tasks. Urgent tasks always allocate from the reserved HBM
 // pool. The knob moves in increments of Delta as the monitor observes
 // HBM capacity and DRAM bandwidth pressure.
+//
+// The knob is shared between the monitor (Update) and every task that
+// plans a KPA placement (WantHBM). Under the simulator those calls all
+// happen on the single event-loop goroutine, but the native runtime
+// calls WantHBM from worker goroutines, so WantHBM and Update
+// synchronize on a mutex. KLow/KHigh stay plain fields — tests and
+// stats readers access them only while no concurrent Update runs; racy
+// readers use Snapshot.
 type Knob struct {
 	KLow  float64
 	KHigh float64
-	rng   *rand.Rand
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 const (
@@ -32,16 +45,26 @@ func NewKnob(seed int64) *Knob {
 	return &Knob{KLow: 1, KHigh: 1, rng: rand.New(rand.NewSource(seed))}
 }
 
+// Snapshot returns the current (k_low, k_high) pair atomically with
+// respect to Update.
+func (k *Knob) Snapshot() (kLow, kHigh float64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.KLow, k.KHigh
+}
+
 // WantHBM draws the placement decision for a new KPA with the given tag.
+// It is safe to call from concurrent worker goroutines.
 func (k *Knob) WantHBM(tag Tag) bool {
-	switch tag {
-	case Urgent:
+	if tag == Urgent {
 		return true
-	case High:
-		return k.rng.Float64() < k.KHigh
-	default:
-		return k.rng.Float64() < k.KLow
 	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if tag == High {
+		return k.rng.Float64() < k.KHigh
+	}
+	return k.rng.Float64() < k.KLow
 }
 
 // Update moves the knob one step given the monitored HBM capacity
@@ -54,6 +77,8 @@ func (k *Knob) WantHBM(tag Tag) bool {
 // k_high follows only at k_low's extremes, and only downward while the
 // output delay has headroom.
 func (k *Knob) Update(hbmCap, dramBW float64, delayHeadroom bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	switch {
 	case hbmCap >= hbmHighWater && hbmCap >= dramBW:
 		// Zone 2: HBM capacity is the pressed resource.

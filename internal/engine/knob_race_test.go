@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestKnobConcurrentWantHBM hammers the knob from many goroutines the
+// way the native runtime's workers do — placement draws racing monitor
+// updates and snapshot reads. Run under -race this catches the shared
+// *rand.Rand (and knob vector) being used without synchronization.
+func TestKnobConcurrentWantHBM(t *testing.T) {
+	k := NewKnob(42)
+	const (
+		goroutines = 16
+		draws      = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tags := [3]Tag{Low, High, Urgent}
+			for i := 0; i < draws; i++ {
+				k.WantHBM(tags[(g+i)%3])
+			}
+		}(g)
+	}
+	// Monitor goroutine: knob updates racing the placement draws.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < draws; i++ {
+			if i%2 == 0 {
+				k.Update(0.9, 0.2, true) // zone 2: push toward DRAM
+			} else {
+				k.Update(0.3, 0.9, true) // zone 3: pull back to HBM
+			}
+		}
+	}()
+	// Reader goroutine: stats snapshots racing updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < draws; i++ {
+			lo, hi := k.Snapshot()
+			if lo < 0 || lo > 1 || hi < 0 || hi > 1 {
+				panic("knob probabilities out of range")
+			}
+		}
+	}()
+	wg.Wait()
+	lo, hi := k.Snapshot()
+	if lo < 0 || lo > 1 || hi < 0 || hi > 1 {
+		t.Fatalf("knob ended out of range: {%g, %g}", lo, hi)
+	}
+}
+
+// TestKnobSnapshotMatchesFields checks Snapshot against direct field
+// reads in the single-threaded case.
+func TestKnobSnapshotMatchesFields(t *testing.T) {
+	k := NewKnob(1)
+	for i := 0; i < 7; i++ {
+		k.Update(0.9, 0.1, true)
+	}
+	lo, hi := k.Snapshot()
+	if lo != k.KLow || hi != k.KHigh {
+		t.Fatalf("snapshot {%g,%g} != fields {%g,%g}", lo, hi, k.KLow, k.KHigh)
+	}
+}

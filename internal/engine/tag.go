@@ -42,6 +42,12 @@ func (t Tag) Priority() int { return int(t) }
 // windows in the future", paper §5).
 const highSlackWindows = 2
 
+// TagFor classifies a task operating on data with representative event
+// time ts, given the target watermark and windowing — the engine's
+// tagging rule, exported so the native runtime applies the identical
+// policy from its worker pool.
+func TagFor(w wm.Windowing, target, ts wm.Time) Tag { return tagFor(w, target, ts) }
+
 // tagFor classifies a task operating on data with representative event
 // time ts, given the target watermark and windowing. Records at or
 // behind the target watermark are on the critical path.

@@ -38,6 +38,24 @@ func ExtractDemand(b *bundle.Bundle, to memsim.Tier) memsim.Demand {
 	return memsim.ExtractDemand(b.Tier(), to, b.Rows(), 8)
 }
 
+// FromPairs creates a KPA from externally prepared key/pointer pairs
+// whose pointers all reference rows of source bundle b. The native
+// runtime uses it to fuse filtering and window partitioning into a
+// single extraction pass over a bundle. The pairs are copied into the
+// KPA's own storage.
+func FromPairs(pairs []algo.Pair, resident int, b *bundle.Bundle, al Allocator) (*KPA, error) {
+	k, err := newKPA(len(pairs), resident, al)
+	if err != nil {
+		return nil, err
+	}
+	k.pairs = append(k.pairs, pairs...)
+	if len(pairs) > 0 {
+		k.addSource(b)
+	}
+	k.sorted = len(pairs) <= 1
+	return k, nil
+}
+
 // Materialize emits a bundle of full records in KPA order by
 // dereferencing every pointer (random access into DRAM). newBuilder is
 // supplied by the engine so the output bundle gets a registry ID and a
@@ -159,6 +177,15 @@ func Sort(k *KPA) {
 // SortDemand returns the virtual cost of Sort.
 func SortDemand(k *KPA) memsim.Demand {
 	return memsim.SortDemand(k.Tier(), k.Len())
+}
+
+// SortParallel sorts the KPA by resident keys in place using up to p
+// real goroutines (algo.ParallelSortPairs). The native runtime uses it;
+// the simulator instead expresses the same structure as SortChunk and
+// Merge tasks so parallelism costs virtual time.
+func SortParallel(k *KPA, p int) {
+	algo.ParallelSortPairs(k.pairs, p)
+	k.sorted = true
 }
 
 // SortChunk sorts pairs [lo,hi) of the KPA, the per-thread piece of the

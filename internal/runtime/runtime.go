@@ -1,0 +1,722 @@
+// Package runtime is the native multicore execution backend: it runs
+// declarative pipelines on real goroutines over real data, alongside
+// the discrete-event simulator (internal/engine + internal/memsim)
+// rather than replacing it. The structure mirrors the paper's runtime
+// (§3, §5): ingest builds DRAM record bundles, extraction creates Key
+// Pointer Arrays, grouping runs the sequential-access parallel
+// merge-sort, windows close through a pairwise merge tree, and keyed
+// reduction dereferences pointers back into the bundles — all scheduled
+// on a work-stealing worker pool whose queues honor the Urgent/High/Low
+// performance-impact tags, with KPA placement drawn from the
+// demand-balance knob and ingestion backpressure driven by mempool
+// utilization.
+package runtime
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambox/internal/algo"
+	"streambox/internal/bundle"
+	"streambox/internal/engine"
+	"streambox/internal/kpa"
+	"streambox/internal/mempool"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// Filter keeps records whose column Col satisfies Keep; filters fuse
+// into the extraction pass.
+type Filter struct {
+	Col  int
+	Keep func(uint64) bool
+}
+
+// Plan is the native operator path: one source feeding
+// filter* → window → keyed aggregation → capture/sink. The streambox
+// package translates declarative pipelines into a Plan; pipelines
+// outside this shape run on the simulated backend.
+type Plan struct {
+	// Gen produces the stream; Source carries its bundle size, window
+	// density and watermark cadence (Rate only sets TotalRecords — the
+	// native backend runs as fast as the hardware allows).
+	Gen    engine.Generator
+	Source engine.SourceConfig
+	// Win is the pipeline windowing.
+	Win wm.Windowing
+	// TotalRecords is the number of records to ingest.
+	TotalRecords int64
+	// Filters are applied during extraction, in order.
+	Filters []Filter
+	// TsCol is the windowing timestamp column.
+	TsCol int
+	// KeyCol/ValCol and NewAgg define the keyed aggregation.
+	KeyCol, ValCol int
+	NewAgg         kpa.AggFactory
+	// Label names the aggregation in errors and stats.
+	Label string
+}
+
+// Validate reports plan errors.
+func (p Plan) Validate() error {
+	if p.Gen == nil {
+		return fmt.Errorf("runtime: plan has no generator")
+	}
+	if err := p.Source.Validate(); err != nil {
+		return err
+	}
+	if err := p.Win.Validate(); err != nil {
+		return err
+	}
+	if p.TotalRecords <= 0 {
+		return fmt.Errorf("runtime: total records must be positive")
+	}
+	if p.NewAgg == nil {
+		return fmt.Errorf("runtime: plan has no aggregator")
+	}
+	schema := p.Gen.Schema()
+	if p.TsCol < 0 || p.TsCol >= schema.NumCols {
+		return fmt.Errorf("runtime: window timestamp column %d out of range", p.TsCol)
+	}
+	if p.KeyCol < 0 || p.KeyCol >= schema.NumCols {
+		return fmt.Errorf("runtime: key column %d out of range", p.KeyCol)
+	}
+	if p.ValCol < 0 || p.ValCol >= schema.NumCols {
+		return fmt.Errorf("runtime: value column %d out of range", p.ValCol)
+	}
+	for _, f := range p.Filters {
+		if f.Col < 0 || f.Col >= schema.NumCols || f.Keep == nil {
+			return fmt.Errorf("runtime: invalid filter on column %d", f.Col)
+		}
+	}
+	return nil
+}
+
+// Config configures one native execution.
+type Config struct {
+	// Workers is the worker-pool size (0 = one per CPU, via GOMAXPROCS).
+	Workers int
+	// Machine bounds the mempool's tier capacities (zero value: KNL).
+	// Only capacities and the DRAM bandwidth ceiling are used — the
+	// native backend measures real time instead of simulating it.
+	Machine memsim.Config
+	// ReservedHBM is the Urgent allocation pool (0 picks 256 MiB).
+	ReservedHBM int64
+	// Seed drives the knob's placement randomness.
+	Seed int64
+	// Capture retains result rows in the report.
+	Capture bool
+	// MonitorInterval is the knob/backpressure refresh period
+	// (0 picks the paper's 10 ms, in real time).
+	MonitorInterval time.Duration
+	// MaxQueuedTasks caps the scheduler backlog before ingest blocks
+	// (0 picks 8 tasks per worker).
+	MaxQueuedTasks int
+	// ExhaustTimeout bounds how long ingest waits on an exhausted DRAM
+	// pool before the run fails with an error instead of hanging
+	// (0 picks 5 s).
+	ExhaustTimeout time.Duration
+}
+
+// Row is one keyed result: (key, aggregate, window start).
+type Row struct {
+	Key uint64
+	Val uint64
+	Win wm.Time
+}
+
+// Report summarises one native run with real (wall-clock) figures.
+type Report struct {
+	IngestedRecords int64
+	EmittedRecords  int64
+	WindowsClosed   int
+	// Elapsed is real time; Throughput is real records/second.
+	Elapsed    time.Duration
+	Throughput float64
+	// Rows holds the results when Config.Capture is set.
+	Rows []Row
+	// Sched reports worker-pool activity.
+	Sched SchedStats
+	// HBMKPAs/DRAMKPAs count KPA placements per tier.
+	HBMKPAs, DRAMKPAs int64
+	// KLow/KHigh are the knob's final probabilities.
+	KLow, KHigh float64
+	// PausedNanos is time ingest spent blocked on backpressure.
+	PausedNanos int64
+}
+
+// exec carries one run's state.
+type exec struct {
+	plan  Plan
+	cfg   Config
+	sched *Scheduler
+	pool  *mempool.Pool
+	reg   *bundle.Registry
+	knob  *engine.Knob
+
+	targetWM  atomic.Uint64
+	dramBytes atomic.Int64 // traffic since last monitor tick
+	hbmKPAs   atomic.Int64
+	dramKPAs  atomic.Int64
+	emitted   atomic.Int64
+
+	wmu     sync.Mutex
+	windows map[wm.Time]*winEntry
+	closed  int
+
+	rmu  sync.Mutex
+	rows []Row
+
+	emu  sync.Mutex
+	errs []error
+}
+
+// winEntry tracks one window's sorted runs and the extraction tasks
+// still due to contribute to it. A close requested by a watermark
+// defers until the last pending extraction lands.
+type winEntry struct {
+	runs           []*kpa.KPA
+	pending        int
+	closeRequested bool
+	closing        bool
+}
+
+// Run executes the plan and blocks until every record is ingested and
+// every window is closed.
+func Run(plan Plan, cfg Config) (Report, error) {
+	if err := plan.Validate(); err != nil {
+		return Report{}, err
+	}
+	machine := cfg.Machine
+	if machine.Cores == 0 {
+		machine = memsim.KNLConfig()
+	}
+	reserved := cfg.ReservedHBM
+	if reserved == 0 {
+		reserved = 256 << 20
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = numCPUWorkers()
+	}
+	if cfg.MaxQueuedTasks <= 0 {
+		cfg.MaxQueuedTasks = 8 * workers
+	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = 10 * time.Millisecond
+	}
+	if cfg.ExhaustTimeout <= 0 {
+		cfg.ExhaustTimeout = 5 * time.Second
+	}
+
+	x := &exec{
+		plan:    plan,
+		cfg:     cfg,
+		sched:   NewScheduler(workers),
+		pool:    mempool.New(machine, reserved),
+		reg:     bundle.NewRegistry(),
+		knob:    engine.NewKnob(cfg.Seed + 1),
+		windows: make(map[wm.Time]*winEntry),
+	}
+
+	stopMonitor := x.startMonitor(machine)
+	start := time.Now()
+	ingested, paused := x.ingest()
+	// Final watermark: past every generated timestamp, closing all
+	// remaining windows once their extractions drain.
+	x.watermark(^wm.Time(0) - plan.Win.Size)
+	x.sched.Wait()
+	elapsed := time.Since(start)
+	stopMonitor()
+	x.sched.Close()
+
+	rep := Report{
+		IngestedRecords: ingested,
+		EmittedRecords:  x.emitted.Load(),
+		WindowsClosed:   x.closed,
+		Elapsed:         elapsed,
+		Rows:            x.rows,
+		Sched:           x.sched.Stats(),
+		HBMKPAs:         x.hbmKPAs.Load(),
+		DRAMKPAs:        x.dramKPAs.Load(),
+		PausedNanos:     paused,
+	}
+	rep.KLow, rep.KHigh = x.knob.Snapshot()
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.Throughput = float64(ingested) / sec
+	}
+	var err error
+	x.emu.Lock()
+	if len(x.errs) > 0 {
+		err = x.errs[0]
+	}
+	x.emu.Unlock()
+	return rep, err
+}
+
+// ingest is the driver loop: it builds bundles as fast as backpressure
+// allows, submits one extraction task per bundle, and advances the
+// watermark on the configured cadence. Returns (records, paused ns).
+func (x *exec) ingest() (int64, int64) {
+	var (
+		ingested  int64
+		pausedNs  int64
+		bundleCnt int
+		nextTs    wm.Time
+	)
+	schema := x.plan.Gen.Schema()
+	n := x.plan.Source.BundleRecords
+	tsPerRecord := float64(x.plan.Win.Size) / float64(x.plan.Source.WindowRecords)
+	var exhaustedSince time.Time
+	for ingested < x.plan.TotalRecords {
+		if rest := x.plan.TotalRecords - ingested; int64(n) > rest {
+			n = int(rest)
+		}
+		// Backpressure: a deep task backlog or a nearly exhausted DRAM
+		// pool stalls ingest (the native analogue of the monitor
+		// pausing sources in the simulator). The utilization wait is
+		// bounded — a pool that stays full is handled below.
+		if x.sched.Queued() >= x.cfg.MaxQueuedTasks || x.pool.Utilization(memsim.DRAM) > 0.95 {
+			t0 := time.Now()
+			x.sched.WaitQueuedBelow(x.cfg.MaxQueuedTasks)
+			for x.pool.Utilization(memsim.DRAM) > 0.95 && time.Since(t0) < time.Second {
+				time.Sleep(200 * time.Microsecond)
+			}
+			pausedNs += time.Since(t0).Nanoseconds()
+		}
+		b, tsHi, err := x.buildBundle(schema, n, nextTs, tsPerRecord)
+		if err != nil {
+			if _, exhausted := err.(*mempool.ErrExhausted); exhausted {
+				// Memory can only come back from window closure, and
+				// watermarks only advance here — force one so every
+				// window behind the stream drains, then retry. If the
+				// pool stays exhausted (pipeline state exceeds DRAM),
+				// fail the run instead of hanging.
+				x.watermark(nextTs)
+				if exhaustedSince.IsZero() {
+					exhaustedSince = time.Now()
+				} else if time.Since(exhaustedSince) > x.cfg.ExhaustTimeout {
+					x.recordError(fmt.Errorf("runtime: %s: DRAM exhausted for %v: pipeline state exceeds machine DRAM (%w)",
+						x.plan.Label, x.cfg.ExhaustTimeout, err))
+					break
+				}
+				t0 := time.Now()
+				time.Sleep(200 * time.Microsecond)
+				pausedNs += time.Since(t0).Nanoseconds()
+				continue
+			}
+			x.recordError(err)
+			break
+		}
+		exhaustedSince = time.Time{}
+		nextTs = tsHi
+		ingested += int64(b.Rows())
+		bundleCnt++
+		x.submitExtract(b, tsHi)
+		if bundleCnt%x.plan.Source.WatermarkEvery == 0 {
+			x.watermark(tsHi)
+		}
+	}
+	return ingested, pausedNs
+}
+
+// buildBundle allocates, fills and seals one ingress bundle. An
+// exhausted DRAM pool surfaces as *mempool.ErrExhausted for the ingest
+// loop's backpressure handling.
+func (x *exec) buildBundle(schema bundle.Schema, n int, tsLo wm.Time, tsPerRecord float64) (*bundle.Bundle, wm.Time, error) {
+	alloc, err := x.pool.Alloc(memsim.DRAM, int64(n)*schema.RecordBytes())
+	if err != nil {
+		return nil, 0, err
+	}
+	bd, err := x.reg.NewBuilder(schema, n, memsim.DRAM)
+	if err != nil {
+		alloc.Free()
+		return nil, 0, err
+	}
+	if err := bd.AttachAlloc(alloc); err != nil {
+		alloc.Free()
+		return nil, 0, err
+	}
+	tsHi := tsLo + wm.Time(float64(n)*tsPerRecord)
+	if tsHi == tsLo {
+		tsHi = tsLo + 1
+	}
+	x.plan.Gen.Fill(bd, n, tsLo, tsHi)
+	return bd.Seal(), tsHi, nil
+}
+
+// submitExtract registers the bundle's windows and schedules its
+// extract+sort task.
+func (x *exec) submitExtract(b *bundle.Bundle, tsHi wm.Time) {
+	// Register every window the bundle may contribute to before the
+	// task runs, so a racing watermark defers closure until extraction
+	// lands. The range comes from the plan's window column — which the
+	// Window stage chooses and need not be the schema's timestamp
+	// column — so registration and partitioning agree.
+	ts := b.Col(x.plan.TsCol)
+	if len(ts) == 0 {
+		b.Release()
+		return
+	}
+	minTs, maxTs := ts[0], ts[0]
+	for _, v := range ts[1:] {
+		if v < minTs {
+			minTs = v
+		}
+		if v > maxTs {
+			maxTs = v
+		}
+	}
+	wins := windowsInRange(x.plan.Win, minTs, maxTs)
+	x.wmu.Lock()
+	for _, w := range wins {
+		e := x.windows[w]
+		if e == nil {
+			e = &winEntry{}
+			x.windows[w] = e
+		}
+		e.pending++
+	}
+	x.wmu.Unlock()
+
+	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), tsHi)
+	x.sched.Submit(&Task{
+		Name: "extract:" + x.plan.Label,
+		Tag:  tag,
+		Run:  func() { x.extract(b, wins) },
+	})
+}
+
+// extract is the native grouping front half: one pass over the bundle
+// applies the filters, partitions rows into windows, builds one KPA per
+// window (placed by the knob), sorts it with the parallel merge-sort
+// kernel, and files it as window state.
+func (x *exec) extract(b *bundle.Bundle, wins []wm.Time) {
+	defer b.Release() // drop the producer reference; KPAs hold their own
+	keys := b.Col(x.plan.KeyCol)
+	ts := b.Col(x.plan.TsCol)
+	id := uint32(b.ID())
+
+	byWin := make(map[wm.Time][]algo.Pair, len(wins))
+	fixed := x.plan.Win.IsFixed()
+rows:
+	for i := 0; i < b.Rows(); i++ {
+		for _, f := range x.plan.Filters {
+			if !f.Keep(b.At(i, f.Col)) {
+				continue rows
+			}
+		}
+		p := algo.Pair{Key: keys[i], Ptr: kpa.PackPtr(id, uint32(i))}
+		if fixed {
+			// Fixed windows: one window per record, no per-record
+			// allocation (WindowsOf builds a slice every call).
+			w := x.plan.Win.WindowOf(ts[i])
+			byWin[w] = append(byWin[w], p)
+			continue
+		}
+		for _, w := range x.plan.Win.WindowsOf(ts[i]) {
+			byWin[w] = append(byWin[w], p)
+		}
+	}
+	x.addDRAMTraffic(b.Bytes())
+
+	for _, w := range wins {
+		pairs := byWin[w]
+		var k *kpa.KPA
+		if len(pairs) > 0 {
+			tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), w)
+			var err error
+			k, err = kpa.FromPairs(pairs, x.plan.KeyCol, b, x.allocator(tag))
+			if err != nil {
+				x.recordError(err)
+			} else {
+				kpa.SortParallel(k, 2) // bundle-sized: at most a few chunks
+				x.noteKPA(k)
+			}
+		}
+		x.extractDone(w, k)
+	}
+}
+
+// extractDone files a sorted run (nil when the bundle contributed no
+// surviving rows) and triggers a deferred close when this was the last
+// pending extraction of a close-requested window.
+func (x *exec) extractDone(w wm.Time, k *kpa.KPA) {
+	x.wmu.Lock()
+	e := x.windows[w]
+	if k != nil {
+		e.runs = append(e.runs, k)
+	}
+	e.pending--
+	start := e.closeRequested && e.pending == 0 && !e.closing
+	if start {
+		e.closing = true
+	}
+	x.wmu.Unlock()
+	if start {
+		x.submitClose(w)
+	}
+}
+
+// watermark advances the target watermark and requests closure of every
+// window now entirely behind it.
+func (x *exec) watermark(w wm.Time) {
+	for {
+		cur := x.targetWM.Load()
+		if uint64(w) <= cur || x.targetWM.CompareAndSwap(cur, uint64(w)) {
+			break
+		}
+	}
+	var toClose []wm.Time
+	x.wmu.Lock()
+	for start, e := range x.windows {
+		if e.closeRequested || x.plan.Win.End(start) > w {
+			continue
+		}
+		e.closeRequested = true
+		if e.pending == 0 && !e.closing {
+			e.closing = true
+			toClose = append(toClose, start)
+		}
+	}
+	x.wmu.Unlock()
+	for _, start := range toClose {
+		x.submitClose(start)
+	}
+}
+
+// submitClose schedules the first merge level for a closing window.
+func (x *exec) submitClose(start wm.Time) {
+	x.wmu.Lock()
+	e := x.windows[start]
+	runs := e.runs
+	e.runs = nil
+	x.wmu.Unlock()
+	x.mergeLevel(start, runs)
+}
+
+// mergeLevel pairwise-merges the window's sorted runs as parallel tasks
+// (the paper's merge tree); the countdown continuation of each level
+// schedules the next, and a single surviving run proceeds to reduction.
+func (x *exec) mergeLevel(start wm.Time, runs []*kpa.KPA) {
+	if len(runs) == 0 {
+		x.finishWindow(start)
+		return
+	}
+	if len(runs) == 1 {
+		x.submitReduce(start, runs[0])
+		return
+	}
+	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), start)
+	next := make([]*kpa.KPA, (len(runs)+1)/2)
+	if len(runs)%2 == 1 {
+		next[len(next)-1] = runs[len(runs)-1] // odd run passes through
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(len(runs) / 2))
+	for i := 0; i+1 < len(runs); i += 2 {
+		a, b, slot := runs[i], runs[i+1], i/2
+		x.sched.Submit(&Task{
+			Name: "merge:" + x.plan.Label,
+			Tag:  tag,
+			Run: func() {
+				merged, err := kpa.Merge(a, b, x.allocator(tag))
+				a.Destroy()
+				b.Destroy()
+				if err != nil {
+					x.recordError(err)
+				} else {
+					x.noteKPA(merged)
+					x.addDRAMTraffic(merged.Bytes())
+					next[slot] = merged
+				}
+				if remaining.Add(-1) == 0 {
+					x.mergeLevel(start, compactRuns(next))
+				}
+			},
+		})
+	}
+}
+
+// compactRuns drops slots lost to merge errors.
+func compactRuns(runs []*kpa.KPA) []*kpa.KPA {
+	out := runs[:0]
+	for _, r := range runs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// submitReduce schedules the windowed keyed reduction over the merged
+// KPA: key-aligned ranges reduce in parallel, dereferencing pointers
+// into the DRAM bundles, and the last range finalizes the window.
+func (x *exec) submitReduce(start wm.Time, k *kpa.KPA) {
+	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), start)
+	cuts, err := kpa.KeyAlignedCuts(k, x.sched.Workers())
+	if err != nil || len(cuts) < 2 {
+		if err != nil {
+			x.recordError(err)
+		}
+		k.Destroy()
+		x.finishWindow(start)
+		return
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(len(cuts) - 1))
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		x.sched.Submit(&Task{
+			Name: "reduce:" + x.plan.Label,
+			Tag:  tag,
+			Run: func() {
+				var out []Row
+				err := kpa.ReduceByKeyRange(k, lo, hi, x.plan.ValCol, x.plan.NewAgg, func(key, res uint64) {
+					out = append(out, Row{Key: key, Val: res, Win: start})
+				})
+				if err != nil {
+					x.recordError(err)
+				}
+				x.emitRows(out)
+				x.addDRAMTraffic(int64(hi-lo) * 8)
+				if remaining.Add(-1) == 0 {
+					k.Destroy()
+					x.finishWindow(start)
+				}
+			},
+		})
+	}
+}
+
+// emitRows records a batch of results.
+func (x *exec) emitRows(rows []Row) {
+	x.emitted.Add(int64(len(rows)))
+	if !x.cfg.Capture {
+		return
+	}
+	x.rmu.Lock()
+	x.rows = append(x.rows, rows...)
+	x.rmu.Unlock()
+}
+
+// finishWindow retires a closed window.
+func (x *exec) finishWindow(start wm.Time) {
+	x.wmu.Lock()
+	delete(x.windows, start)
+	x.closed++
+	x.wmu.Unlock()
+}
+
+// allocator returns a knob-driven KPA allocator for the given tag:
+// Urgent from the reserved pool, High/Low by the knob's probabilities,
+// spilling to DRAM when HBM is full (paper §5).
+func (x *exec) allocator(tag engine.Tag) kpa.Allocator {
+	return &knobAllocator{x: x, tag: tag}
+}
+
+type knobAllocator struct {
+	x   *exec
+	tag engine.Tag
+}
+
+// AllocKPA implements kpa.Allocator.
+func (a *knobAllocator) AllocKPA(nBytes int64) (memsim.Tier, *mempool.Allocation, error) {
+	x := a.x
+	if a.tag == engine.Urgent {
+		al, err := x.pool.AllocUrgent(nBytes)
+		if err != nil {
+			return 0, nil, err
+		}
+		return al.Tier(), al, nil
+	}
+	if x.knob.WantHBM(a.tag) {
+		if al, err := x.pool.Alloc(memsim.HBM, nBytes); err == nil {
+			return memsim.HBM, al, nil
+		}
+		// HBM full: spill.
+	}
+	al, err := x.pool.Alloc(memsim.DRAM, nBytes)
+	return memsim.DRAM, al, err
+}
+
+// noteKPA counts a placement for the report.
+func (x *exec) noteKPA(k *kpa.KPA) {
+	if k.Tier() == memsim.HBM {
+		x.hbmKPAs.Add(1)
+	} else {
+		x.dramKPAs.Add(1)
+	}
+}
+
+// addDRAMTraffic accumulates observed DRAM traffic for the monitor's
+// bandwidth estimate.
+func (x *exec) addDRAMTraffic(n int64) { x.dramBytes.Add(n) }
+
+// startMonitor refreshes the demand-balance knob on a real-time cadence
+// from measured pool utilization and DRAM traffic; it returns a stop
+// function.
+func (x *exec) startMonitor(machine memsim.Config) func() {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(x.cfg.MonitorInterval)
+		defer ticker.Stop()
+		dramBWCap := machine.Tier(memsim.DRAM).Bandwidth
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				traffic := x.dramBytes.Swap(0)
+				dramBW := float64(traffic) / x.cfg.MonitorInterval.Seconds() / dramBWCap
+				// Headroom proxy: the pool keeps up with the offered
+				// backlog, so k_high may still shift placements to DRAM.
+				headroom := x.sched.Queued() < x.sched.Workers()
+				x.knob.Update(x.pool.Utilization(memsim.HBM), dramBW, headroom)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// numCPUWorkers is the default pool size: one worker per schedulable CPU.
+func numCPUWorkers() int { return goruntime.GOMAXPROCS(0) }
+
+func (x *exec) recordError(err error) {
+	if err == nil {
+		return
+	}
+	x.emu.Lock()
+	x.errs = append(x.errs, err)
+	x.emu.Unlock()
+}
+
+// windowsInRange lists every window start overlapping [lo, hi].
+func windowsInRange(w wm.Windowing, lo, hi wm.Time) []wm.Time {
+	first := w.WindowsOf(lo)
+	var out []wm.Time
+	if len(first) > 0 {
+		out = append(out, first...)
+	}
+	slide := w.Slide
+	if slide == 0 {
+		slide = w.Size
+	}
+	var next wm.Time
+	if len(out) > 0 {
+		next = out[len(out)-1] + slide
+	}
+	for ; next <= hi; next += slide {
+		out = append(out, next)
+	}
+	return out
+}

@@ -1,0 +1,394 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streambox/internal/engine"
+	"streambox/internal/ingress"
+	"streambox/internal/kpa"
+	"streambox/internal/memsim"
+	"streambox/internal/ops"
+	"streambox/internal/wm"
+)
+
+// --- Scheduler tests. ------------------------------------------------------
+
+// TestSchedulerPriorityOrder blocks the single worker behind a gate
+// task, queues Low before Urgent, and checks the Urgent task runs
+// first — the per-priority queues must honor the dispatch order.
+func TestSchedulerPriorityOrder(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []engine.Tag
+	note := func(tag engine.Tag) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	s.Submit(&Task{Name: "gate", Tag: engine.Low, Run: func() { <-gate }})
+	for _, tag := range []engine.Tag{engine.Low, engine.Low, engine.High, engine.Urgent} {
+		s.Submit(&Task{Name: tag.String(), Tag: tag, Run: note(tag)})
+	}
+	close(gate)
+	s.Wait()
+	if len(order) != 4 {
+		t.Fatalf("executed %d tasks, want 4", len(order))
+	}
+	if order[0] != engine.Urgent || order[1] != engine.High {
+		t.Fatalf("priority order violated: %v", order)
+	}
+}
+
+// TestSchedulerWorkStealing parks one worker on a slow task whose
+// queue holds many quick tasks; the other worker must steal them.
+func TestSchedulerWorkStealing(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	var done atomic.Int64
+	// Once the slow task is running it pins one worker; round-robin
+	// still lands half the quick tasks on that worker's queue, so they
+	// can only finish by being stolen.
+	started := make(chan struct{})
+	s.Submit(&Task{Name: "slow", Tag: engine.Low, Run: func() {
+		close(started)
+		time.Sleep(100 * time.Millisecond)
+	}})
+	<-started
+	for i := 0; i < 64; i++ {
+		s.Submit(&Task{Name: "quick", Tag: engine.Low, Run: func() { done.Add(1) }})
+	}
+	s.Wait()
+	if done.Load() != 64 {
+		t.Fatalf("executed %d quick tasks, want 64", done.Load())
+	}
+	if s.Stats().Stolen == 0 {
+		t.Fatal("no tasks were stolen despite a pinned worker")
+	}
+}
+
+// TestSchedulerTaskSpawnsTask checks Wait covers tasks submitted by
+// tasks (the merge-tree continuation pattern).
+func TestSchedulerTaskSpawnsTask(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	var hits atomic.Int64
+	s.Submit(&Task{Name: "parent", Tag: engine.High, Run: func() {
+		for i := 0; i < 8; i++ {
+			s.Submit(&Task{Name: "child", Tag: engine.Urgent, Run: func() { hits.Add(1) }})
+		}
+	}})
+	s.Wait()
+	if hits.Load() != 8 {
+		t.Fatalf("children executed %d times, want 8", hits.Load())
+	}
+}
+
+// --- Native pipeline tests. ------------------------------------------------
+
+func testPlan(gen engine.Generator, total int64) Plan {
+	return Plan{
+		Gen: gen,
+		Source: engine.SourceConfig{
+			Name:           "test",
+			Rate:           1e6,
+			BundleRecords:  1000,
+			WindowRecords:  4000,
+			WatermarkEvery: 4,
+		},
+		Win:          wm.Fixed(1_000_000),
+		TotalRecords: total,
+		TsCol:        2,
+		KeyCol:       0,
+		ValCol:       1,
+		NewAgg:       ops.Sum(),
+		Label:        "sum",
+	}
+}
+
+// TestNativeExactSums runs the quickstart shape on a deterministic
+// round-robin stream: every window must sum to exactly
+// WindowRecords/keys per key.
+func TestNativeExactSums(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(8, 1), 40_000)
+	rep, err := Run(plan, Config{Workers: 4, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IngestedRecords != 40_000 {
+		t.Fatalf("ingested %d, want 40000", rep.IngestedRecords)
+	}
+	if rep.WindowsClosed != 10 {
+		t.Fatalf("closed %d windows, want 10", rep.WindowsClosed)
+	}
+	if rep.EmittedRecords != 80 {
+		t.Fatalf("emitted %d rows, want 80 (10 windows x 8 keys)", rep.EmittedRecords)
+	}
+	for _, r := range rep.Rows {
+		if r.Val != 4000/8 {
+			t.Fatalf("window %d key %d: sum %d, want %d", r.Win, r.Key, r.Val, 4000/8)
+		}
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("native run must report real throughput")
+	}
+	total := int64(0)
+	for _, n := range rep.Sched.Executed {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no tasks executed on the worker pool")
+	}
+}
+
+// TestNativeFilter fuses a filter into extraction: only keys < 4
+// survive, so each window emits 4 rows.
+func TestNativeFilter(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(8, 1), 8_000)
+	plan.Filters = []Filter{{Col: 0, Keep: func(v uint64) bool { return v < 4 }}}
+	rep, err := Run(plan, Config{Workers: 2, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowsClosed != 2 || rep.EmittedRecords != 8 {
+		t.Fatalf("windows %d rows %d, want 2 windows x 4 rows", rep.WindowsClosed, rep.EmittedRecords)
+	}
+	for _, r := range rep.Rows {
+		if r.Key >= 4 {
+			t.Fatalf("filtered key %d leaked through", r.Key)
+		}
+		if r.Val != 500 {
+			t.Fatalf("sum %d, want 500", r.Val)
+		}
+	}
+}
+
+// TestNativeSlidingWindows checks the sliding-window path: interior
+// windows see a full window of records across two slides.
+func TestNativeSlidingWindows(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(4, 1), 20_000)
+	plan.Win = wm.Sliding(1_000_000, 500_000)
+	rep, err := Run(plan, Config{Workers: 4, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFull := false
+	for _, r := range rep.Rows {
+		if r.Val == 4000/4 {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("no interior sliding window saw full counts")
+	}
+}
+
+// TestNativeBackpressure runs against a tiny memory pool: ingest must
+// stall rather than fail, and the run must still complete correctly.
+func TestNativeBackpressure(t *testing.T) {
+	machine := memsim.KNLConfig()
+	machine.Tiers[memsim.HBM].Capacity = 1 << 20   // 1 MiB HBM
+	machine.Tiers[memsim.DRAM].Capacity = 12 << 20 // 12 MiB DRAM
+	plan := testPlan(ingress.NewRoundRobinKV(8, 1), 40_000)
+	rep, err := Run(plan, Config{Workers: 2, Machine: machine, ReservedHBM: 256 << 10, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowsClosed != 10 {
+		t.Fatalf("closed %d windows, want 10", rep.WindowsClosed)
+	}
+	for _, r := range rep.Rows {
+		if r.Val != 500 {
+			t.Fatalf("sum %d under memory pressure, want 500", r.Val)
+		}
+	}
+}
+
+// TestNativeWindowColumnNotSchemaTs windows on a column other than the
+// schema's timestamp column (the Window stage may pick any column):
+// registration and partitioning must agree, or records are silently
+// dropped. RoundRobinKV's value column is constant 5, so every record
+// of the run lands in window 0 and per-key sums cover all records.
+func TestNativeWindowColumnNotSchemaTs(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(8, 5), 8_000)
+	plan.TsCol = 1 // the value column, not the schema ts column (2)
+	rep, err := Run(plan, Config{Workers: 2, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowsClosed != 1 {
+		t.Fatalf("closed %d windows, want 1 (all records share window 0)", rep.WindowsClosed)
+	}
+	if len(rep.Rows) != 8 {
+		t.Fatalf("emitted %d rows, want 8", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Win != 0 {
+			t.Fatalf("window %d, want 0", r.Win)
+		}
+		if r.Val != 1000*5 {
+			t.Fatalf("key %d: sum %d, want 5000 — records were dropped", r.Key, r.Val)
+		}
+	}
+}
+
+// TestNativeExhaustionFailsInsteadOfHanging gives the run less DRAM
+// than a single open window of state: ingest must force watermarks,
+// time out, and return an exhaustion error rather than spin forever.
+func TestNativeExhaustionFailsInsteadOfHanging(t *testing.T) {
+	machine := memsim.KNLConfig()
+	machine.Tiers[memsim.HBM].Capacity = 32 << 10
+	machine.Tiers[memsim.DRAM].Capacity = 64 << 10
+	plan := testPlan(ingress.NewRoundRobinKV(8, 1), 40_000)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(plan, Config{
+			Workers:        2,
+			Machine:        machine,
+			ReservedHBM:    16 << 10,
+			ExhaustTimeout: 300 * time.Millisecond,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run with impossible DRAM budget must fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung on an exhausted DRAM pool")
+	}
+}
+
+// TestNativeKnobPlacement checks that KPAs actually land on both tiers
+// under the default knob (k=1 sends High/Low draws to HBM) and that
+// the placement counters add up.
+func TestNativeKnobPlacement(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(16, 1), 40_000)
+	rep, err := Run(plan, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HBMKPAs+rep.DRAMKPAs == 0 {
+		t.Fatal("no KPAs were placed")
+	}
+	if rep.HBMKPAs == 0 {
+		t.Fatal("knob at k=1 must place KPAs on HBM")
+	}
+	if lo, hi := rep.KLow, rep.KHigh; lo < 0 || lo > 1 || hi < 0 || hi > 1 {
+		t.Fatalf("knob out of range: {%g, %g}", lo, hi)
+	}
+}
+
+// TestNativeMergeTree forces many runs per window (tiny bundles) so
+// closing a window exercises multi-level pairwise merging.
+func TestNativeMergeTree(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(4, 1), 12_000)
+	plan.Source.BundleRecords = 250 // 16 runs per window
+	plan.Source.WatermarkEvery = 16
+	rep, err := Run(plan, Config{Workers: 4, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowsClosed != 3 {
+		t.Fatalf("closed %d windows, want 3", rep.WindowsClosed)
+	}
+	for _, r := range rep.Rows {
+		if r.Val != 1000 {
+			t.Fatalf("window %d key %d: sum %d, want 1000", r.Win, r.Key, r.Val)
+		}
+	}
+}
+
+// TestPlanValidation rejects broken plans.
+func TestPlanValidation(t *testing.T) {
+	good := testPlan(ingress.NewRoundRobinKV(4, 1), 1000)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Gen = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil generator must fail")
+	}
+	bad = good
+	bad.KeyCol = 9
+	if bad.Validate() == nil {
+		t.Fatal("key column out of range must fail")
+	}
+	bad = good
+	bad.NewAgg = nil
+	if bad.Validate() == nil {
+		t.Fatal("missing aggregator must fail")
+	}
+	bad = good
+	bad.TotalRecords = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero records must fail")
+	}
+}
+
+// TestWindowsInRange covers the registration helper on fixed and
+// sliding windowings.
+func TestWindowsInRange(t *testing.T) {
+	fixed := wm.Fixed(100)
+	got := windowsInRange(fixed, 50, 250)
+	want := []wm.Time{0, 100, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	sliding := wm.Sliding(100, 50)
+	got = windowsInRange(sliding, 120, 180)
+	// Windows containing ts in [120,180]: starts 50, 100, 150.
+	want = []wm.Time{50, 100, 150}
+	if len(got) != len(want) {
+		t.Fatalf("sliding: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sliding: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNativeAggFamily runs count and average on the same stream to
+// cover non-sum aggregators end to end.
+func TestNativeAggFamily(t *testing.T) {
+	count := testPlan(ingress.NewRoundRobinKV(8, 3), 8_000)
+	count.NewAgg = ops.Count()
+	count.Label = "count"
+	rep, err := Run(count, Config{Workers: 2, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Val != 500 {
+			t.Fatalf("count %d, want 500", r.Val)
+		}
+	}
+	avg := testPlan(ingress.NewRoundRobinKV(8, 3), 8_000)
+	avg.NewAgg = ops.Avg()
+	avg.Label = "avg"
+	rep, err = Run(avg, Config{Workers: 2, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Val != 3 {
+			t.Fatalf("avg %d, want 3", r.Val)
+		}
+	}
+}
+
+var _ kpa.Allocator = (*knobAllocator)(nil)

@@ -1,0 +1,219 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"streambox/internal/engine"
+)
+
+// numPriorities covers engine.Tag's Low/High/Urgent dispatch classes.
+const numPriorities = int(engine.Urgent) + 1
+
+// Task is one unit of work for the scheduler. Tag maps to a dispatch
+// priority exactly as in the simulator: Urgent before High before Low.
+type Task struct {
+	Name string
+	Tag  engine.Tag
+	Run  func()
+}
+
+// SchedStats summarises scheduler activity.
+type SchedStats struct {
+	// Executed counts completed tasks per priority class (indexed by
+	// engine.Tag.Priority()).
+	Executed [numPriorities]int64
+	// Stolen counts tasks a worker took from another worker's queue.
+	Stolen int64
+}
+
+// Scheduler is the native backend's worker pool: one goroutine per
+// worker, per-worker per-priority run queues, and work stealing. A
+// worker serves its own queues highest-priority-first (newest-first,
+// for cache locality), then steals the oldest task of the highest
+// priority found on any other worker.
+type Scheduler struct {
+	workers []*worker
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queued   int // tasks submitted, not yet taken by a worker
+	inflight int // tasks submitted, not yet finished
+	closed   bool
+
+	wg       sync.WaitGroup
+	rr       atomic.Uint64 // round-robin submission cursor
+	stolen   atomic.Int64
+	executed [numPriorities]atomic.Int64
+}
+
+type worker struct {
+	mu sync.Mutex
+	q  [numPriorities][]*Task
+}
+
+// NewScheduler starts a pool of n workers (n >= 1).
+func NewScheduler(n int) *Scheduler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Scheduler{workers: make([]*worker, n)}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.workers {
+		s.workers[i] = &worker{}
+	}
+	for i := range s.workers {
+		s.wg.Add(1)
+		go s.run(i)
+	}
+	return s
+}
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return len(s.workers) }
+
+// Submit enqueues a task. Tasks may submit further tasks (merge-tree
+// continuations); submission never blocks.
+func (s *Scheduler) Submit(t *Task) {
+	w := s.workers[s.rr.Add(1)%uint64(len(s.workers))]
+	pri := t.Tag.Priority()
+	w.mu.Lock()
+	w.q[pri] = append(w.q[pri], t)
+	w.mu.Unlock()
+
+	s.mu.Lock()
+	s.queued++
+	s.inflight++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Queued returns the number of tasks waiting for a worker.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// WaitQueuedBelow blocks until fewer than n tasks are waiting — the
+// ingest path's backpressure hook.
+func (s *Scheduler) WaitQueuedBelow(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queued >= n && !s.closed {
+		s.cond.Wait()
+	}
+}
+
+// Wait blocks until every submitted task (including tasks submitted by
+// tasks) has finished.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.inflight > 0 {
+		s.cond.Wait()
+	}
+}
+
+// Close drains remaining tasks and stops the workers. No Submit may
+// race or follow Close.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (s *Scheduler) Stats() SchedStats {
+	var st SchedStats
+	st.Stolen = s.stolen.Load()
+	for i := range st.Executed {
+		st.Executed[i] = s.executed[i].Load()
+	}
+	return st
+}
+
+// run is one worker's loop.
+func (s *Scheduler) run(id int) {
+	defer s.wg.Done()
+	for {
+		t := s.grab(id)
+		if t == nil {
+			s.mu.Lock()
+			if s.closed && s.queued == 0 {
+				s.mu.Unlock()
+				return
+			}
+			if s.queued == 0 {
+				s.cond.Wait()
+			}
+			s.mu.Unlock()
+			continue
+		}
+		t.Run()
+		s.executed[t.Tag.Priority()].Add(1)
+		s.mu.Lock()
+		s.inflight--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// grab takes the next task for worker id: own queues first (highest
+// priority, newest first), then stealing (highest priority, oldest
+// first) from the other workers.
+func (s *Scheduler) grab(id int) *Task {
+	if t := s.workers[id].popOwn(); t != nil {
+		s.noteTaken()
+		return t
+	}
+	n := len(s.workers)
+	for pri := numPriorities - 1; pri >= 0; pri-- {
+		for off := 1; off < n; off++ {
+			victim := s.workers[(id+off)%n]
+			if t := victim.stealAt(pri); t != nil {
+				s.stolen.Add(1)
+				s.noteTaken()
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) noteTaken() {
+	s.mu.Lock()
+	s.queued--
+	s.cond.Broadcast() // unblock WaitQueuedBelow
+	s.mu.Unlock()
+}
+
+// popOwn takes the worker's newest highest-priority task.
+func (w *worker) popOwn() *Task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for pri := numPriorities - 1; pri >= 0; pri-- {
+		if n := len(w.q[pri]); n > 0 {
+			t := w.q[pri][n-1]
+			w.q[pri][n-1] = nil
+			w.q[pri] = w.q[pri][:n-1]
+			return t
+		}
+	}
+	return nil
+}
+
+// stealAt takes the worker's oldest task of priority pri.
+func (w *worker) stealAt(pri int) *Task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.q[pri]) == 0 {
+		return nil
+	}
+	t := w.q[pri][0]
+	w.q[pri][0] = nil
+	w.q[pri] = w.q[pri][1:]
+	return t
+}

@@ -22,8 +22,10 @@ import (
 	"streambox/internal/algo"
 	"streambox/internal/engine"
 	"streambox/internal/ingress"
+	"streambox/internal/kpa"
 	"streambox/internal/memsim"
 	"streambox/internal/ops"
+	"streambox/internal/runtime"
 	"streambox/internal/wm"
 )
 
@@ -102,13 +104,47 @@ const (
 	CacheMode = engine.PlacementCache
 )
 
+// Backend selects the execution engine behind Run.
+type Backend int
+
+const (
+	// Simulated executes on the discrete-event hybrid-memory simulator
+	// (virtual time, paper-faithful cost model). The default.
+	Simulated Backend = iota
+	// Native executes on real goroutines over real data: a
+	// work-stealing worker pool runs ingest → KPA extraction → parallel
+	// merge-sort → merge → windowed reduction, with KPA placement drawn
+	// from the demand-balance knob and backpressure from pool
+	// utilization. Reported throughput is real records per wall-clock
+	// second. The native backend supports single-source
+	// filter* → Window → <agg>PerKey pipelines; richer graphs run
+	// simulated.
+	Native
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == Native {
+		return "native"
+	}
+	return "simulated"
+}
+
 // RunConfig configures one execution.
 type RunConfig struct {
+	// Backend selects simulated (default) or native execution.
+	Backend Backend
 	// Machine simulates this hardware; zero value means KNL (Table 3).
+	// The native backend uses only its memory-tier capacities.
 	Machine memsim.Config
 	// Cores restricts the core count (0 = all of Machine's cores).
 	Cores int
-	// Duration is the virtual runtime in seconds.
+	// Workers is the native worker-pool size (0 = one per CPU);
+	// the simulated backend ignores it.
+	Workers int
+	// Duration is the virtual runtime in seconds. The native backend
+	// ingests Rate×Duration records per source as fast as the hardware
+	// allows instead of pacing to virtual time.
 	Duration float64
 	// Placement selects the KPA placement policy.
 	Placement Placement
@@ -130,9 +166,16 @@ func X56() memsim.Config { return memsim.X56Config() }
 
 // Report summarises one run.
 type Report struct {
-	// IngestedRecords and Throughput (records/second of virtual time).
+	// Backend that produced this report.
+	Backend Backend
+	// IngestedRecords and Throughput: records/second of virtual time on
+	// the simulated backend, records/second of real wall-clock time on
+	// the native backend.
 	IngestedRecords int64
 	Throughput      float64
+	// WallSeconds is the real elapsed time of a native run (0 when
+	// simulated).
+	WallSeconds float64
 	// EmittedRecords counts result records at sinks.
 	EmittedRecords int64
 	// WindowsClosed and output delays (virtual seconds).
@@ -162,11 +205,35 @@ type sourceDecl struct {
 	port  int
 }
 
+// stageKind classifies a stage for native-backend translation. The
+// zero value (kindOther) marks operators only the simulator executes.
+type stageKind int
+
+const (
+	kindOther stageKind = iota
+	kindPass            // no-op passthrough (source entry, Project)
+	kindFilter
+	kindWindow
+	kindKeyedAgg
+	kindCapture
+	kindSink
+)
+
 type stageDecl struct {
 	id    int
 	mk    func() engine.Operator
 	built engine.Operator
 	down  []edge
+
+	// Declarative descriptor consumed by the native backend.
+	kind  stageKind
+	label string
+	col   int // filter column / window timestamp column
+	keep  func(uint64) bool
+	key   int // keyed-agg grouping column
+	val   int // keyed-agg value column
+	agg   kpa.AggFactory
+	cap   *Captured
 }
 
 type edge struct {
@@ -204,6 +271,7 @@ func (p *Pipeline) addStage(mk func() engine.Operator) *stageDecl {
 // Source attaches a generator and returns its record stream.
 func (p *Pipeline) Source(gen Generator, cfg SourceConfig) Stream {
 	entry := p.addStage(func() engine.Operator { return &ops.ProjectOp{} })
+	entry.kind = kindPass
 	p.sources = append(p.sources, sourceDecl{gen: gen, cfg: cfg, stage: entry})
 	return Stream{p: p, stage: entry}
 }
@@ -214,9 +282,20 @@ func (s Stream) then(mk func() engine.Operator) Stream {
 	return Stream{p: s.p, stage: next}
 }
 
+// keyedAgg appends a keyed aggregation stage with its native descriptor.
+func (s Stream) keyedAgg(label string, keyCol, valCol int, agg kpa.AggFactory, mk func() engine.Operator) Stream {
+	next := s.then(mk)
+	st := next.stage
+	st.kind, st.label, st.key, st.val, st.agg = kindKeyedAgg, label, keyCol, valCol, agg
+	return next
+}
+
 // Filter keeps records whose column col satisfies keep (ParDo/Filter).
 func (s Stream) Filter(label string, col int, keep func(uint64) bool) Stream {
-	return s.then(func() engine.Operator { return &ops.FilterOp{Label: label, Col: col, Keep: keep} })
+	next := s.then(func() engine.Operator { return &ops.FilterOp{Label: label, Col: col, Keep: keep} })
+	st := next.stage
+	st.kind, st.label, st.col, st.keep = kindFilter, label, col, keep
+	return next
 }
 
 // Sample keeps one record in every (ParDo/Sample).
@@ -227,7 +306,9 @@ func (s Stream) Sample(col int, every uint64) Stream {
 // Project declares a projection (a no-op with columnar storage, kept
 // for pipeline shape fidelity).
 func (s Stream) Project(cols ...int) Stream {
-	return s.then(func() engine.Operator { return &ops.ProjectOp{Cols: cols} })
+	next := s.then(func() engine.Operator { return &ops.ProjectOp{Cols: cols} })
+	next.stage.kind = kindPass
+	return next
 }
 
 // ExternalJoin maps column keyCol through a key-value table (YSB's
@@ -240,43 +321,53 @@ func (s Stream) ExternalJoin(label string, keyCol int, table *algo.HashTable) St
 
 // Window assigns records to temporal windows by timestamp column.
 func (s Stream) Window(tsCol int) Stream {
-	return s.then(func() engine.Operator { return &ops.WindowOp{TsCol: tsCol} })
+	next := s.then(func() engine.Operator { return &ops.WindowOp{TsCol: tsCol} })
+	st := next.stage
+	st.kind, st.col = kindWindow, tsCol
+	return next
 }
 
 // SumPerKey aggregates value sums per key per window. The input must be
 // windowed (call Window first).
 func (s Stream) SumPerKey(keyCol, valCol int) Stream {
-	return s.then(func() engine.Operator { return ops.NewKeyedAgg("sum", keyCol, valCol, ops.Sum()) })
+	return s.keyedAgg("sum", keyCol, valCol, ops.Sum(),
+		func() engine.Operator { return ops.NewKeyedAgg("sum", keyCol, valCol, ops.Sum()) })
 }
 
 // CountPerKey counts records per key per window.
 func (s Stream) CountPerKey(keyCol int) Stream {
-	return s.then(func() engine.Operator { return ops.NewKeyedAgg("count", keyCol, keyCol, ops.Count()) })
+	return s.keyedAgg("count", keyCol, keyCol, ops.Count(),
+		func() engine.Operator { return ops.NewKeyedAgg("count", keyCol, keyCol, ops.Count()) })
 }
 
 // AvgPerKey averages values per key per window.
 func (s Stream) AvgPerKey(keyCol, valCol int) Stream {
-	return s.then(func() engine.Operator { return ops.NewKeyedAgg("avg", keyCol, valCol, ops.Avg()) })
+	return s.keyedAgg("avg", keyCol, valCol, ops.Avg(),
+		func() engine.Operator { return ops.NewKeyedAgg("avg", keyCol, valCol, ops.Avg()) })
 }
 
 // MedianPerKey computes per-key medians per window.
 func (s Stream) MedianPerKey(keyCol, valCol int) Stream {
-	return s.then(func() engine.Operator { return ops.NewKeyedAgg("median", keyCol, valCol, ops.Median()) })
+	return s.keyedAgg("median", keyCol, valCol, ops.Median(),
+		func() engine.Operator { return ops.NewKeyedAgg("median", keyCol, valCol, ops.Median()) })
 }
 
 // TopKPerKey reports the k-th largest value per key per window.
 func (s Stream) TopKPerKey(keyCol, valCol, k int) Stream {
-	return s.then(func() engine.Operator { return ops.NewKeyedAgg("topk", keyCol, valCol, ops.TopK(k)) })
+	return s.keyedAgg("topk", keyCol, valCol, ops.TopK(k),
+		func() engine.Operator { return ops.NewKeyedAgg("topk", keyCol, valCol, ops.TopK(k)) })
 }
 
 // UniqueCountPerKey counts distinct values per key per window.
 func (s Stream) UniqueCountPerKey(keyCol, valCol int) Stream {
-	return s.then(func() engine.Operator { return ops.NewKeyedAgg("unique", keyCol, valCol, ops.UniqueCount()) })
+	return s.keyedAgg("unique", keyCol, valCol, ops.UniqueCount(),
+		func() engine.Operator { return ops.NewKeyedAgg("unique", keyCol, valCol, ops.UniqueCount()) })
 }
 
 // PercentilePerKey reports the p-th percentile per key per window.
 func (s Stream) PercentilePerKey(keyCol, valCol, p int) Stream {
-	return s.then(func() engine.Operator { return ops.NewKeyedAgg("pctl", keyCol, valCol, ops.Percentile(p)) })
+	return s.keyedAgg("pctl", keyCol, valCol, ops.Percentile(p),
+		func() engine.Operator { return ops.NewKeyedAgg("pctl", keyCol, valCol, ops.Percentile(p)) })
 }
 
 // AvgAll averages one column across each window.
@@ -338,6 +429,7 @@ func (s Stream) Capture() *Captured {
 		c.sink = ops.NewCapture()
 		return c.sink
 	})
+	sinkStage.kind, sinkStage.cap = kindCapture, c
 	s.stage.down = append(s.stage.down, edge{to: sinkStage})
 	s.p.sinks = append(s.p.sinks, c)
 	return c
@@ -346,16 +438,22 @@ func (s Stream) Capture() *Captured {
 // Sink terminates the stream, counting results without retaining them.
 func (s Stream) Sink(name string) {
 	sinkStage := s.p.addStage(func() engine.Operator { return engine.NewEgressSink(name) })
+	sinkStage.kind, sinkStage.label = kindSink, name
 	s.stage.down = append(s.stage.down, edge{to: sinkStage})
 }
 
-// Run executes the pipeline for cfg.Duration virtual seconds.
+// Run executes the pipeline: for cfg.Duration virtual seconds on the
+// simulated backend, or over Rate×Duration records as fast as the
+// hardware allows on the native backend.
 func Run(p *Pipeline, cfg RunConfig) (Report, error) {
 	if len(p.sources) == 0 {
 		return Report{}, fmt.Errorf("streambox: pipeline has no sources")
 	}
 	if cfg.Duration <= 0 {
 		return Report{}, fmt.Errorf("streambox: run duration must be positive")
+	}
+	if cfg.Backend == Native {
+		return runNative(p, cfg)
 	}
 	machine := cfg.Machine
 	if machine.Cores == 0 {
@@ -418,4 +516,107 @@ func Run(p *Pipeline, cfg RunConfig) (Report, error) {
 		rep.Throughput = float64(stats.IngestedRecords) / elapsed
 	}
 	return rep, nil
+}
+
+// runNative translates the declarative pipeline into a native plan and
+// executes it on the multicore runtime backend.
+func runNative(p *Pipeline, cfg RunConfig) (Report, error) {
+	plan, capture, err := nativePlan(p, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rcfg := runtime.Config{
+		Workers: cfg.Workers,
+		Machine: cfg.Machine,
+		Seed:    cfg.Seed,
+		Capture: capture != nil,
+	}
+	rep, err := runtime.Run(plan, rcfg)
+	if err != nil {
+		return Report{}, err
+	}
+	if capture != nil {
+		capture.Rows = capture.Rows[:0]
+		for _, r := range rep.Rows {
+			capture.Rows = append(capture.Rows, ops.CapturedRow{Key: r.Key, Val: r.Val, Win: r.Win})
+		}
+		capture.Records = int64(len(capture.Rows))
+	}
+	return Report{
+		Backend:         Native,
+		IngestedRecords: rep.IngestedRecords,
+		Throughput:      rep.Throughput,
+		WallSeconds:     rep.Elapsed.Seconds(),
+		EmittedRecords:  rep.EmittedRecords,
+		WindowsClosed:   rep.WindowsClosed,
+	}, nil
+}
+
+// nativePlan walks the pipeline graph and extracts the linear
+// filter* → Window → keyed-agg → capture/sink chain the native backend
+// executes, rejecting anything richer with a descriptive error.
+func nativePlan(p *Pipeline, cfg RunConfig) (runtime.Plan, *Captured, error) {
+	fail := func(format string, args ...interface{}) (runtime.Plan, *Captured, error) {
+		return runtime.Plan{}, nil, fmt.Errorf("streambox: native backend: "+format+" (run with Backend: Simulated)", args...)
+	}
+	if len(p.sources) != 1 {
+		return fail("pipelines need exactly one source, have %d", len(p.sources))
+	}
+	src := p.sources[0]
+	plan := runtime.Plan{
+		Gen:          src.gen,
+		Source:       src.cfg,
+		Win:          p.win.w,
+		TotalRecords: int64(src.cfg.Rate * cfg.Duration),
+		TsCol:        -1,
+	}
+	var capture *Captured
+	seenAgg := false
+	st := src.stage
+	for st != nil {
+		switch st.kind {
+		case kindPass:
+			// no-op
+		case kindFilter:
+			if seenAgg {
+				return fail("filter %q after aggregation is unsupported", st.label)
+			}
+			plan.Filters = append(plan.Filters, runtime.Filter{Col: st.col, Keep: st.keep})
+		case kindWindow:
+			if plan.TsCol >= 0 {
+				return fail("multiple Window stages are unsupported")
+			}
+			plan.TsCol = st.col
+		case kindKeyedAgg:
+			if seenAgg {
+				return fail("chained aggregations are unsupported")
+			}
+			if plan.TsCol < 0 {
+				return fail("%s requires a Window stage upstream", st.label)
+			}
+			seenAgg = true
+			plan.Label = st.label
+			plan.KeyCol, plan.ValCol, plan.NewAgg = st.key, st.val, st.agg
+		case kindCapture, kindSink:
+			if !seenAgg {
+				return fail("pipelines must aggregate before the sink")
+			}
+			if len(st.down) != 0 {
+				return fail("operators after the sink are unsupported")
+			}
+			capture = st.cap
+			return plan, capture, nil
+		default:
+			return fail("operator %d is not in the native path", st.id)
+		}
+		switch len(st.down) {
+		case 0:
+			return fail("pipelines must end in Capture or Sink")
+		case 1:
+			st = st.down[0].to
+		default:
+			return fail("fan-out graphs are unsupported")
+		}
+	}
+	return fail("pipelines must end in Capture or Sink")
 }
