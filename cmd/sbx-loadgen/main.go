@@ -1,0 +1,133 @@
+// Command sbx-loadgen drives an sbx-serve instance over TCP: it
+// generates the deterministic wire workload, partitions it across
+// connections (connection j sends records j, j+conns, j+2·conns, …),
+// and sends it either closed-loop (as fast as the server grants
+// flow-control credits) or open-loop at a target rate.
+//
+//	sbx-loadgen -addr 127.0.0.1:7077 -conns 4 -records 1000000
+//	sbx-loadgen -addr 127.0.0.1:7077 -rate 200000 -duration 10 -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambox/internal/netio"
+	"streambox/internal/parsefmt"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "ingest server address")
+	conns := flag.Int("conns", 4, "parallel connections")
+	formatName := flag.String("format", "pb", "payload encoding: pb|json|text")
+	records := flag.Int64("records", 1_000_000, "total records to send (ignored with -duration)")
+	duration := flag.Float64("duration", 0, "send for this many seconds instead of a fixed record count")
+	rate := flag.Float64("rate", 0, "open-loop target rate, records/second total (0 = closed loop, as fast as credits allow)")
+	frame := flag.Int("frame", 512, "records per frame")
+	keys := flag.Uint64("keys", 1024, "ad_id cardinality")
+	valueRange := flag.Uint64("value-range", 0, "user_id range (0 = constant 1)")
+	windowRecords := flag.Uint64("window-records", 100_000, "records per 1s window of event time")
+	random := flag.Bool("random", false, "random keys/values instead of round-robin")
+	seed := flag.Uint64("seed", 0, "random-mode seed")
+	flag.Parse()
+
+	format, err := netio.ParseFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *conns < 1 {
+		*conns = 1
+	}
+	gen := netio.RecordGen{
+		Keys:          *keys,
+		ValueRange:    *valueRange,
+		WindowRecords: *windowRecords,
+		Random:        *random,
+		Seed:          *seed,
+	}
+
+	// Dial every connection before sending: each connection registers a
+	// watermark cursor at the server, so windows only close once every
+	// sender has passed them.
+	clients := make([]*netio.Client, *conns)
+	for j := range clients {
+		c, err := netio.Dial(*addr, netio.ClientConfig{Format: format, FrameRecords: *frame})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conn %d: %v\n", j, err)
+			os.Exit(1)
+		}
+		clients[j] = c
+	}
+
+	var stop atomic.Bool
+	if *duration > 0 {
+		*records = 1 << 62
+		time.AfterFunc(time.Duration(*duration*float64(time.Second)), func() { stop.Store(true) })
+	}
+	perConnRate := *rate / float64(*conns)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, *conns)
+	for j, c := range clients {
+		wg.Add(1)
+		go func(j int, c *netio.Client) {
+			defer wg.Done()
+			defer c.Close()
+			buf := make([]parsefmt.Record, 0, *frame)
+			connStart := time.Now()
+			var sent int64
+			for i := int64(j); i < *records; i += int64(*conns) {
+				if stop.Load() {
+					break
+				}
+				buf = append(buf, gen.At(uint64(i)))
+				if len(buf) == *frame {
+					if err := c.Send(buf); err != nil {
+						errs <- fmt.Errorf("conn %d: %w", j, err)
+						return
+					}
+					sent += int64(len(buf))
+					buf = buf[:0]
+					if perConnRate > 0 {
+						// Open loop: sleep off any schedule surplus.
+						ahead := time.Duration(float64(sent)/perConnRate*float64(time.Second)) - time.Since(connStart)
+						if ahead > time.Millisecond {
+							time.Sleep(ahead)
+						}
+					}
+				}
+			}
+			if len(buf) > 0 && !stop.Load() {
+				if err := c.Send(buf); err != nil {
+					errs <- fmt.Errorf("conn %d: %w", j, err)
+				}
+			}
+		}(j, c)
+	}
+	wg.Wait()
+	close(errs)
+	elapsed := time.Since(start)
+	failed := false
+	for err := range errs {
+		failed = true
+		fmt.Fprintln(os.Stderr, err)
+	}
+
+	var total, frames int64
+	for _, c := range clients {
+		total += c.Sent()
+		frames += c.Frames()
+	}
+	fmt.Printf("sent:       %d records in %d frames over %d conns (%s)\n", total, frames, *conns, format)
+	fmt.Printf("elapsed:    %.3f s\n", elapsed.Seconds())
+	fmt.Printf("throughput: %.1f k rec/s\n", float64(total)/elapsed.Seconds()/1e3)
+	if failed {
+		os.Exit(1)
+	}
+}

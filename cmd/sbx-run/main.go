@@ -181,4 +181,7 @@ func runNative(pipeline string, rate, duration float64, workers int) {
 	fmt.Printf("ingested:   %d records in %.3f real s\n", rep.IngestedRecords, rep.WallSeconds)
 	fmt.Printf("throughput: %.1f M rec/s (real wall-clock)\n", rep.Throughput/1e6)
 	fmt.Printf("results:    %d records, %d windows closed\n", rep.EmittedRecords, rep.WindowsClosed)
+	// Generator sources parse nothing and drop nothing; network runs
+	// (sbx-serve) report real counts here.
+	fmt.Printf("ingress:    %d dropped records, %d decode errors\n", rep.DroppedRecords, rep.DecodeErrors)
 }

@@ -200,6 +200,47 @@ func (p *Pool) Stats() Stats {
 	return Stats{Allocs: p.allocs, Frees: p.frees, Failures: p.failures, PeakUsed: p.peak}
 }
 
+// TierSnapshot is one tier's live view for metrics exposition.
+type TierSnapshot struct {
+	Used, Capacity, Peak int64
+	Utilization          float64
+}
+
+// Snapshot is a consistent one-scrape view of the whole pool, taken
+// under a single lock acquisition (the per-field getters can tear
+// between tiers while allocations race).
+type Snapshot struct {
+	Tiers                  [2]TierSnapshot // indexed by memsim.Tier
+	Reserved, UsedReserved int64
+	Allocs, Frees          int64
+	Failures               int64
+}
+
+// Snapshot returns a consistent view of capacities, usage and counters
+// for the /metrics endpoint.
+func (p *Pool) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s Snapshot
+	for t := memsim.Tier(0); t < 2; t++ {
+		used, capa := p.used[t], p.cap[t]
+		if t == memsim.HBM {
+			used += p.usedReserved
+			capa += p.reserved
+		}
+		ts := TierSnapshot{Used: used, Capacity: capa, Peak: p.peak[t]}
+		if capa > 0 {
+			ts.Utilization = float64(used) / float64(capa)
+		} else {
+			ts.Utilization = 1
+		}
+		s.Tiers[t] = ts
+	}
+	s.Reserved, s.UsedReserved = p.reserved, p.usedReserved
+	s.Allocs, s.Frees, s.Failures = p.allocs, p.frees, p.failures
+	return s
+}
+
 // SizeClasses exposes the slab classes (for tests and documentation).
 func SizeClasses() []int64 {
 	out := make([]int64, len(sizeClasses))

@@ -1,0 +1,171 @@
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambox/internal/parsefmt"
+)
+
+// ClientConfig configures a Dial.
+type ClientConfig struct {
+	// Format selects the payload encoding (default JSON, the zero
+	// value; loadgen defaults to PB).
+	Format parsefmt.Format
+	// FrameRecords is the number of records per frame (0 picks 512).
+	FrameRecords int
+	// DialTimeout bounds connection establishment and the handshake
+	// (0 picks 10s).
+	DialTimeout time.Duration
+}
+
+// Client is one ingest connection: it frames and encodes records,
+// respecting the server's credit window — Send blocks while the server
+// withholds credits (engine backpressure).
+type Client struct {
+	conn   net.Conn
+	bw     *bufio.Writer
+	format parsefmt.Format
+	frame  int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	credits int
+	readErr error
+
+	sent   atomic.Int64
+	frames atomic.Int64
+	done   chan struct{}
+}
+
+// Dial connects and handshakes with an ingest server.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.FrameRecords <= 0 {
+		cfg.FrameRecords = 512
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	if err := writeHello(conn, cfg.Format); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netio: hello: %w", err)
+	}
+	credits, err := readAck(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		format:  cfg.Format,
+		frame:   cfg.FrameRecords,
+		credits: credits,
+		done:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.creditLoop()
+	return c, nil
+}
+
+// creditLoop consumes the server's credit grants.
+func (c *Client) creditLoop() {
+	defer close(c.done)
+	for {
+		n, err := readCredit(c.conn)
+		c.mu.Lock()
+		if err != nil {
+			if c.readErr == nil {
+				c.readErr = err
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.credits += int(n)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// takeCredit blocks until one frame credit is available.
+func (c *Client) takeCredit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.credits == 0 && c.readErr == nil {
+		c.cond.Wait()
+	}
+	if c.credits == 0 {
+		if c.readErr == io.EOF {
+			return fmt.Errorf("netio: server closed the connection")
+		}
+		return fmt.Errorf("netio: credit stream: %w", c.readErr)
+	}
+	c.credits--
+	return nil
+}
+
+// Send frames and transmits records, splitting them into frames of the
+// configured size. It blocks while the server withholds credits.
+func (c *Client) Send(recs []parsefmt.Record) error {
+	for len(recs) > 0 {
+		n := c.frame
+		if n > len(recs) {
+			n = len(recs)
+		}
+		if err := c.takeCredit(); err != nil {
+			return err
+		}
+		payload := parsefmt.Encode(c.format, recs[:n])
+		if err := writeFrame(c.bw, payload); err != nil {
+			return fmt.Errorf("netio: send: %w", err)
+		}
+		if err := c.bw.Flush(); err != nil {
+			return fmt.Errorf("netio: send: %w", err)
+		}
+		c.sent.Add(int64(n))
+		c.frames.Add(1)
+		recs = recs[n:]
+	}
+	return nil
+}
+
+// Sent returns the records transmitted so far.
+func (c *Client) Sent() int64 { return c.sent.Load() }
+
+// Frames returns the frames transmitted so far.
+func (c *Client) Frames() int64 { return c.frames.Load() }
+
+// Close sends the end-of-stream marker, waits briefly for the server to
+// finish the stream, and closes the connection.
+func (c *Client) Close() error {
+	err := writeFrame(c.bw, nil)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if tc, ok := c.conn.(*net.TCPConn); ok && err == nil {
+		tc.CloseWrite()
+	}
+	// Wait for the server's side of the close so in-flight frames are
+	// consumed before the socket fully tears down.
+	select {
+	case <-c.done:
+	case <-time.After(5 * time.Second):
+	}
+	c.conn.Close()
+	return err
+}

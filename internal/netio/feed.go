@@ -1,0 +1,169 @@
+package netio
+
+import (
+	"sync"
+	"time"
+
+	"streambox/internal/bundle"
+)
+
+// batch is one decoded frame flowing from a connection handler to the
+// runtime, or a sentinel retiring a connection's watermark cursor.
+type batch struct {
+	conn   int64
+	cols   [][]uint64
+	maxTs  uint64
+	retire bool
+}
+
+// Feed buffers decoded record batches between the ingest server and the
+// native runtime, implementing runtime.ExternalFeed. It also tracks the
+// stream's event-time watermark the way a multi-source streaming system
+// must: each connection is a source with its own cursor (the highest
+// timestamp among batches *delivered* to the runtime — not merely
+// received, so the watermark can never overtake data still buffered
+// here), and the feed watermark is the minimum cursor over live
+// connections. A window therefore closes only once every connection has
+// delivered all its records for that window, which makes multi-client
+// runs produce exactly the results of the equivalent single-generator
+// run.
+type Feed struct {
+	schema bundle.Schema
+	ch     chan batch
+	stop   chan struct{} // closed when the server begins shutdown
+
+	mu      sync.Mutex
+	cursors map[int64]uint64
+	highTs  uint64 // max delivered timestamp ever (watermark once all conns retire)
+}
+
+// NewFeed creates a feed buffering up to buffer batches (0 picks 64).
+func NewFeed(schema bundle.Schema, buffer int) *Feed {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	return &Feed{
+		schema:  schema,
+		ch:      make(chan batch, buffer),
+		stop:    make(chan struct{}),
+		cursors: make(map[int64]uint64),
+	}
+}
+
+// Schema implements runtime.ExternalFeed.
+func (f *Feed) Schema() bundle.Schema { return f.schema }
+
+// register adds a connection's watermark cursor at zero, holding the
+// feed watermark until the connection's data starts flowing.
+func (f *Feed) register(conn int64) {
+	f.mu.Lock()
+	f.cursors[conn] = 0
+	f.mu.Unlock()
+}
+
+// push delivers a batch, blocking while the buffer is full. It returns
+// false — and drops the batch — once shutdown has begun.
+func (f *Feed) push(b batch) bool {
+	select {
+	case <-f.stop:
+		return false
+	default:
+	}
+	select {
+	case f.ch <- b:
+		return true
+	case <-f.stop:
+		return false
+	}
+}
+
+// retire removes a connection's cursor directly, for handlers whose
+// sentinel could not be delivered during shutdown.
+func (f *Feed) retire(conn int64) {
+	f.mu.Lock()
+	f.retireLocked(conn)
+	f.mu.Unlock()
+}
+
+func (f *Feed) retireLocked(conn int64) {
+	if ts, ok := f.cursors[conn]; ok {
+		delete(f.cursors, conn)
+		if ts > f.highTs {
+			f.highTs = ts
+		}
+	}
+}
+
+// beginShutdown unblocks pushers; no push succeeds afterwards.
+func (f *Feed) beginShutdown() { close(f.stop) }
+
+// closeSend closes the batch channel. Only the server may call it, after
+// every connection handler has exited (no concurrent pushers).
+func (f *Feed) closeSend() { close(f.ch) }
+
+// Close shuts down a feed no server owns (error paths before Listen
+// succeeds), releasing a runtime blocked in Recv. With a server
+// attached, Server.Close performs the ordered shutdown instead.
+func (f *Feed) Close() {
+	f.beginShutdown()
+	f.closeSend()
+}
+
+// Recv implements runtime.ExternalFeed: it blocks up to maxWait
+// (forever when <= 0) for the next batch, advancing the owning
+// connection's watermark cursor as the batch is handed over. ok is
+// false when the feed is closed and drained; idle is true when maxWait
+// elapsed with no batch.
+func (f *Feed) Recv(maxWait time.Duration) ([][]uint64, bool, bool) {
+	var timeout <-chan time.Time
+	if maxWait > 0 {
+		t := time.NewTimer(maxWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		var b batch
+		var ok bool
+		select {
+		case b, ok = <-f.ch:
+		case <-timeout:
+			return nil, true, true
+		}
+		if !ok {
+			return nil, false, false
+		}
+		f.mu.Lock()
+		if b.retire {
+			f.retireLocked(b.conn)
+			f.mu.Unlock()
+			continue
+		}
+		if cur, live := f.cursors[b.conn]; live && b.maxTs > cur {
+			f.cursors[b.conn] = b.maxTs
+		}
+		if b.maxTs > f.highTs {
+			f.highTs = b.maxTs
+		}
+		f.mu.Unlock()
+		return b.cols, true, false
+	}
+}
+
+// Watermark implements runtime.ExternalFeed: the minimum cursor over
+// live connections, or the highest delivered timestamp once none remain.
+func (f *Feed) Watermark() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.cursors) == 0 {
+		return f.highTs
+	}
+	first := true
+	var min uint64
+	for _, ts := range f.cursors {
+		if first || ts < min {
+			min = ts
+			first = false
+		}
+	}
+	return min
+}

@@ -1,0 +1,119 @@
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one scrape of engine and server state for /metrics. The
+// serving layer fills it from the live runtime execution, the ingest
+// server and the result store.
+type Metrics struct {
+	// Per-tier mempool state, indexed by memsim.Tier (0 HBM, 1 DRAM).
+	MemUsed, MemCapacity [2]int64
+	MemUtilization       [2]float64
+	Allocs, Frees        int64
+	AllocFailures        int64
+	// Demand-balance knob probabilities.
+	KLow, KHigh float64
+	// Scheduler backlog per priority class (low, high, urgent).
+	QueueDepths [3]int
+	// Pipeline progress.
+	IngestedRecords int64
+	WindowsClosed   int64
+	// Ingest server counters.
+	Ingest Counters
+	// Per-connection ingest counters.
+	PerConn []ConnCounters
+	// Windows published to the result store.
+	WindowsPublished int64
+}
+
+var tierNames = [2]string{"hbm", "dram"}
+var priorityNames = [3]string{"low", "high", "urgent"}
+
+// WriteMetrics renders m in the Prometheus text exposition format.
+func WriteMetrics(w io.Writer, m Metrics) {
+	gauge := func(name, labels string, v interface{}) {
+		if labels != "" {
+			labels = "{" + labels + "}"
+		}
+		fmt.Fprintf(w, "%s%s %v\n", name, labels, v)
+	}
+	for t, name := range tierNames {
+		l := `tier="` + name + `"`
+		gauge("streambox_mempool_used_bytes", l, m.MemUsed[t])
+		gauge("streambox_mempool_capacity_bytes", l, m.MemCapacity[t])
+		gauge("streambox_mempool_utilization", l, m.MemUtilization[t])
+	}
+	gauge("streambox_mempool_allocs_total", "", m.Allocs)
+	gauge("streambox_mempool_frees_total", "", m.Frees)
+	gauge("streambox_mempool_alloc_failures_total", "", m.AllocFailures)
+	gauge("streambox_knob_k_low", "", m.KLow)
+	gauge("streambox_knob_k_high", "", m.KHigh)
+	for p, name := range priorityNames {
+		gauge("streambox_sched_queue_depth", `priority="`+name+`"`, m.QueueDepths[p])
+	}
+	gauge("streambox_ingested_records_total", "", m.IngestedRecords)
+	gauge("streambox_windows_closed_total", "", m.WindowsClosed)
+	gauge("streambox_windows_published_total", "", m.WindowsPublished)
+	gauge("streambox_ingest_connections_total", "", m.Ingest.Conns)
+	gauge("streambox_ingest_connections_active", "", m.Ingest.ActiveConns)
+	gauge("streambox_ingest_frames_total", "", m.Ingest.Frames)
+	gauge("streambox_ingest_records_total", "", m.Ingest.IngestedRecords)
+	gauge("streambox_ingest_dropped_records_total", "", m.Ingest.DroppedRecords)
+	gauge("streambox_ingest_decode_errors_total", "", m.Ingest.DecodeErrors)
+	for _, c := range m.PerConn {
+		l := fmt.Sprintf(`conn="%d",remote=%q,format=%q`, c.ID, c.Remote, c.Format)
+		gauge("streambox_conn_frames_total", l, c.Frames)
+		gauge("streambox_conn_records_total", l, c.IngestedRecords)
+		gauge("streambox_conn_dropped_records_total", l, c.DroppedRecords)
+		gauge("streambox_conn_decode_errors_total", l, c.DecodeErrors)
+	}
+}
+
+// NewHandler builds the HTTP mux serving GET /windows (JSON snapshot of
+// the latest closed windows per sink) and GET /metrics (text
+// exposition), plus a one-line index at /.
+func NewHandler(store *ResultStore, metrics func() Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /windows", func(w http.ResponseWriter, r *http.Request) {
+		wins := store.Snapshot()
+		if sink := r.URL.Query().Get("sink"); sink != "" {
+			kept := wins[:0]
+			for _, win := range wins {
+				if win.Sink == sink {
+					kept = append(kept, win)
+				}
+			}
+			wins = kept
+		}
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(wins) {
+				wins = wins[len(wins)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Windows []WindowResult `json:"windows"`
+		}{wins})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteMetrics(w, metrics())
+	})
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.TrimLeft(`
+streambox serve endpoint
+  GET /windows[?sink=NAME&limit=N]  latest closed windows (JSON)
+  GET /metrics                      engine + ingest metrics (Prometheus text)
+`, "\n"))
+	})
+	return mux
+}

@@ -1,0 +1,349 @@
+package netio
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streambox/internal/bundle"
+	"streambox/internal/memsim"
+	"streambox/internal/parsefmt"
+)
+
+// --- Wire format. -----------------------------------------------------------
+
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHello(&buf, parsefmt.PB); err != nil {
+		t.Fatal(err)
+	}
+	f, status, err := readHello(&buf)
+	if err != nil || status != statusOK || f != parsefmt.PB {
+		t.Fatalf("hello round trip: %v %d %v", f, status, err)
+	}
+
+	buf.Reset()
+	writeAck(&buf, statusOK, 37)
+	credits, err := readAck(&buf)
+	if err != nil || credits != 37 {
+		t.Fatalf("ack round trip: %d %v", credits, err)
+	}
+
+	buf.Reset()
+	payload := []byte("hello frames")
+	writeFrame(&buf, payload)
+	writeFrame(&buf, nil) // EOS
+	got, eos, err := readFrame(&buf, nil, DefaultMaxFrameBytes)
+	if err != nil || eos || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: %q eos=%v err=%v", got, eos, err)
+	}
+	if _, eos, err = readFrame(&buf, nil, DefaultMaxFrameBytes); err != nil || !eos {
+		t.Fatalf("EOS frame: eos=%v err=%v", eos, err)
+	}
+
+	buf.Reset()
+	writeCredit(&buf, 5)
+	if n, err := readCredit(&buf); err != nil || n != 5 {
+		t.Fatalf("credit round trip: %d %v", n, err)
+	}
+}
+
+func TestWireRejectsBadHandshake(t *testing.T) {
+	if _, status, err := readHello(strings.NewReader("XXXX\x01\x00\x00\x00")); err == nil || status != statusBadMagic {
+		t.Fatalf("bad magic accepted (status %d)", status)
+	}
+	if _, status, err := readHello(strings.NewReader("SBX1\x01\x09\x00\x00")); err == nil || status != statusBadFormat {
+		t.Fatalf("bad format accepted (status %d)", status)
+	}
+	var buf bytes.Buffer
+	writeAck(&buf, statusBadFormat, 0)
+	if _, err := readAck(&buf); err == nil {
+		t.Fatal("rejection ack read as success")
+	}
+}
+
+func TestReadFrameBoundsPayload(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, make([]byte, 2048))
+	if _, _, err := readFrame(&buf, nil, 1024); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// --- Feed watermark semantics. ----------------------------------------------
+
+func TestFeedWatermarkIsMinAcrossConnections(t *testing.T) {
+	f := NewFeed(WireSchema(), 8)
+	f.register(1)
+	f.register(2)
+	if w := f.Watermark(); w != 0 {
+		t.Fatalf("fresh feed watermark %d, want 0", w)
+	}
+	push := func(conn int64, ts uint64) {
+		f.push(batch{conn: conn, cols: [][]uint64{{1}, {0}, {0}, {1}, {0}, {0}, {ts}}, maxTs: ts})
+		f.Recv(0)
+	}
+	push(1, 500)
+	if w := f.Watermark(); w != 0 {
+		t.Fatalf("watermark %d with conn 2 silent, want 0", w)
+	}
+	push(2, 300)
+	if w := f.Watermark(); w != 300 {
+		t.Fatalf("watermark %d, want min(500,300)=300", w)
+	}
+	// Conn 2 retires: only conn 1's cursor remains.
+	f.push(batch{conn: 2, retire: true})
+	push(1, 900)
+	if w := f.Watermark(); w != 900 {
+		t.Fatalf("watermark %d after retire, want 900", w)
+	}
+	// All conns retire: watermark falls back to the delivered maximum.
+	f.push(batch{conn: 1, retire: true})
+	go f.closeSend()
+	if _, ok, _ := f.Recv(0); ok {
+		t.Fatal("Recv delivered after close")
+	}
+	if w := f.Watermark(); w != 900 {
+		t.Fatalf("drained watermark %d, want 900", w)
+	}
+}
+
+// --- Server/client loopback. ------------------------------------------------
+
+// collect drains the feed in the background, tallying records.
+func collect(f *Feed) (*atomic.Int64, chan struct{}) {
+	var n atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			cols, ok, _ := f.Recv(0)
+			if !ok {
+				return
+			}
+			n.Add(int64(len(cols[0])))
+		}
+	}()
+	return &n, done
+}
+
+func TestServerClientLoopback(t *testing.T) {
+	for _, format := range []parsefmt.Format{parsefmt.JSON, parsefmt.PB, parsefmt.Text} {
+		feed := NewFeed(WireSchema(), 8)
+		srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, done := collect(feed)
+
+		gen := RecordGen{Keys: 16, WindowRecords: 100}
+		c, err := Dial(srv.Addr().String(), ClientConfig{Format: format, FrameRecords: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const total = 1000
+		if err := c.Send(gen.Records(0, total)); err != nil {
+			t.Fatalf("%v: send: %v", format, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("%v: close: %v", format, err)
+		}
+		srv.Close()
+		<-done
+
+		if n := got.Load(); n != total {
+			t.Fatalf("%v: feed received %d records, want %d", format, n, total)
+		}
+		ctr := srv.Counters()
+		if ctr.IngestedRecords != total || ctr.DecodeErrors != 0 || ctr.DroppedRecords != 0 {
+			t.Fatalf("%v: counters %+v", format, ctr)
+		}
+		if ctr.Conns != 1 || ctr.ActiveConns != 0 {
+			t.Fatalf("%v: connection counters %+v", format, ctr)
+		}
+	}
+}
+
+func TestServerCountsDecodeErrors(t *testing.T) {
+	feed := NewFeed(WireSchema(), 8)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, done := collect(feed)
+
+	c, err := Dial(srv.Addr().String(), ClientConfig{Format: parsefmt.Text, FrameRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame whose payload goes bad after two valid records.
+	if err := c.takeCredit(); err != nil {
+		t.Fatal(err)
+	}
+	payload := append(parsefmt.EncodeText(RecordGen{}.Records(0, 2)), []byte("not,a,record\n")...)
+	if err := writeFrame(c.bw, payload); err != nil {
+		t.Fatal(err)
+	}
+	c.bw.Flush()
+	if err := c.Send(RecordGen{}.Records(2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+	<-done
+
+	ctr := srv.Counters()
+	if ctr.DecodeErrors != 1 {
+		t.Fatalf("decode errors %d, want 1", ctr.DecodeErrors)
+	}
+	if got.Load() != 4 || ctr.IngestedRecords != 4 {
+		t.Fatalf("ingested %d/%d, want 4 (valid records around the bad frame)", got.Load(), ctr.IngestedRecords)
+	}
+}
+
+func TestCreditWithholdingBlocksClient(t *testing.T) {
+	feed := NewFeed(WireSchema(), 64)
+	var overloaded atomic.Bool
+	overloaded.Store(true)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Feed:         feed,
+		FrameCredits: 2,
+		Overloaded:   overloaded.Load,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := collect(feed)
+
+	c, err := Dial(srv.Addr().String(), ClientConfig{Format: parsefmt.PB, FrameRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := RecordGen{Keys: 4, WindowRecords: 100}
+	sent := make(chan error, 1)
+	go func() { sent <- c.Send(gen.Records(0, 100)) }() // 10 frames, 2 credits
+
+	select {
+	case err := <-sent:
+		t.Fatalf("send of 10 frames finished against a 2-frame window while overloaded (err=%v)", err)
+	case <-time.After(200 * time.Millisecond):
+		// Blocked on credits, as intended.
+	}
+	overloaded.Store(false)
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatalf("send after pressure cleared: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send still blocked after pressure cleared")
+	}
+	c.Close()
+	srv.Close()
+	<-done
+	if n := srv.Counters().IngestedRecords; n != 100 {
+		t.Fatalf("ingested %d, want 100", n)
+	}
+}
+
+// --- Result store and HTTP endpoints. ---------------------------------------
+
+func TestResultStoreRetainsAndMerges(t *testing.T) {
+	st := NewResultStore(2)
+	st.Publish("out", 0, 10, []ResultRow{{Key: 1, Val: 5}})
+	st.Publish("out", 10, 20, []ResultRow{{Key: 1, Val: 6}})
+	st.Publish("out", 20, 30, []ResultRow{{Key: 1, Val: 7}})
+	wins := st.Snapshot()
+	if len(wins) != 2 || wins[0].Start != 10 || wins[1].Start != 20 {
+		t.Fatalf("retention: %+v", wins)
+	}
+	// Late duplicate merges rather than duplicating the window.
+	st.Publish("out", 20, 30, []ResultRow{{Key: 2, Val: 9}})
+	wins = st.Snapshot()
+	if len(wins) != 2 || wins[1].Records != 2 {
+		t.Fatalf("merge: %+v", wins)
+	}
+	if st.Published() != 4 {
+		t.Fatalf("published %d, want 4", st.Published())
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	st := NewResultStore(4)
+	st.Publish("out", 0, WindowTicks, []ResultRow{{Key: 3, Val: 42}})
+	h := NewHandler(st, func() Metrics {
+		return Metrics{
+			MemUsed:         [2]int64{1024, 2048},
+			MemCapacity:     [2]int64{4096, 8192},
+			KLow:            0.5,
+			KHigh:           0.25,
+			QueueDepths:     [3]int{1, 2, 3},
+			IngestedRecords: 99,
+			Ingest:          Counters{Conns: 2, IngestedRecords: 99},
+			PerConn:         []ConnCounters{{ID: 1, Remote: "127.0.0.1:9", Format: "JSON"}},
+		}
+	})
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/windows", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/windows: %d", rr.Code)
+	}
+	var body struct{ Windows []WindowResult }
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Windows) != 1 || body.Windows[0].Rows[0].Val != 42 {
+		t.Fatalf("/windows body: %+v", body)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/metrics: %d", rr.Code)
+	}
+	text := rr.Body.String()
+	for _, want := range []string{
+		`streambox_mempool_used_bytes{tier="hbm"} 1024`,
+		`streambox_knob_k_low 0.5`,
+		`streambox_sched_queue_depth{priority="urgent"} 3`,
+		`streambox_ingested_records_total 99`,
+		`streambox_conn_frames_total{conn="1"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestStreamGenMatchesRecordGen pins the equivalence seam: the
+// generator adapter must emit exactly the wire stream.
+func TestStreamGenMatchesRecordGen(t *testing.T) {
+	gen := RecordGen{Keys: 8, WindowRecords: 50, ValueRange: 100, Random: true, Seed: 7}
+	sg := NewStreamGen(gen)
+	bd := newTestBuilder(t, 120)
+	sg.Fill(bd, 120, 0, 0)
+	b := bd.Seal()
+	for i := 0; i < 120; i++ {
+		want := gen.At(uint64(i)).Cols()
+		for col := 0; col < 7; col++ {
+			if b.At(i, col) != want[col] {
+				t.Fatalf("record %d col %d: %d != %d", i, col, b.At(i, col), want[col])
+			}
+		}
+	}
+}
+
+// newTestBuilder makes an unmanaged bundle builder for adapter tests.
+func newTestBuilder(t *testing.T, capacity int) *bundle.Builder {
+	t.Helper()
+	bd, err := bundle.NewBuilder(1, WireSchema(), capacity, memsim.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bd
+}

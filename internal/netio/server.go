@@ -1,0 +1,349 @@
+package netio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambox/internal/parsefmt"
+)
+
+// ServerConfig configures an ingest listener.
+type ServerConfig struct {
+	// Feed receives decoded batches (required).
+	Feed *Feed
+	// AcceptShards is the number of concurrent acceptor goroutines
+	// sharing the listener (0 picks 2).
+	AcceptShards int
+	// FrameCredits is the per-connection flow-control window in frames
+	// (0 picks 16).
+	FrameCredits int
+	// MaxFrameBytes caps one frame's payload (0 picks 4 MiB).
+	MaxFrameBytes int
+	// Overloaded, when non-nil, reports engine backpressure: while it
+	// returns true the server withholds credit grants, so clients stall
+	// instead of the server buffering unboundedly. The serving layer
+	// wires this to mempool DRAM utilization crossing the runtime's
+	// backpressure threshold.
+	Overloaded func() bool
+	// HandshakeTimeout bounds the wait for a client hello (0 picks 10s).
+	HandshakeTimeout time.Duration
+}
+
+// Counters is one scrape of the server's aggregate ingest counters.
+type Counters struct {
+	// Conns counts accepted connections; ActiveConns is the current
+	// number still open.
+	Conns, ActiveConns int64
+	// Frames counts data frames received.
+	Frames int64
+	// IngestedRecords counts records decoded and delivered to the feed.
+	IngestedRecords int64
+	// DroppedRecords counts records decoded but discarded because the
+	// pipeline was draining (listener closed mid-stream).
+	DroppedRecords int64
+	// DecodeErrors counts frames whose payload failed to decode; the
+	// frame's remaining bytes are dropped.
+	DecodeErrors int64
+}
+
+// ConnCounters is one connection's view for /metrics.
+type ConnCounters struct {
+	ID              int64
+	Remote          string
+	Format          string
+	Frames          int64
+	IngestedRecords int64
+	DroppedRecords  int64
+	DecodeErrors    int64
+}
+
+// serverConn is one accepted connection's state.
+type serverConn struct {
+	id     int64
+	conn   net.Conn
+	format parsefmt.Format
+
+	frames   atomic.Int64
+	ingested atomic.Int64
+	dropped  atomic.Int64
+	decErrs  atomic.Int64
+}
+
+// Server is the TCP ingest listener: per-connection framed decoding,
+// credit-based flow control, and counters.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[int64]*serverConn
+	pending map[net.Conn]struct{} // accepted, handshake not yet complete
+	nextID  int64
+
+	wg      sync.WaitGroup // acceptors + connection handlers
+	closing atomic.Bool
+	closed  sync.Once
+
+	accepted atomic.Int64
+	frames   atomic.Int64
+	ingested atomic.Int64
+	dropped  atomic.Int64
+	decErrs  atomic.Int64
+}
+
+// Listen starts an ingest server on addr (e.g. ":7077" or
+// "127.0.0.1:0").
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Feed == nil {
+		return nil, fmt.Errorf("netio: ServerConfig.Feed is required")
+	}
+	if got, want := cfg.Feed.Schema().NumCols, WireSchema().NumCols; got != want {
+		return nil, fmt.Errorf("netio: feed schema has %d columns, the wire format carries %d", got, want)
+	}
+	if cfg.AcceptShards <= 0 {
+		cfg.AcceptShards = 2
+	}
+	if cfg.FrameCredits <= 0 {
+		cfg.FrameCredits = 16
+	}
+	if cfg.FrameCredits > 0xFFFF {
+		cfg.FrameCredits = 0xFFFF // the ack carries the grant as uint16
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, ln: ln, conns: make(map[int64]*serverConn), pending: make(map[net.Conn]struct{})}
+	for i := 0; i < cfg.AcceptShards; i++ {
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close gracefully shuts ingestion down: it stops accepting, severs the
+// remaining connections, waits for every handler to finish, and closes
+// the feed so the runtime drains and terminates. Safe to call more than
+// once.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		s.closing.Store(true)
+		s.cfg.Feed.beginShutdown()
+		s.ln.Close()
+		s.mu.Lock()
+		for _, c := range s.conns {
+			c.conn.Close()
+		}
+		for c := range s.pending {
+			c.Close() // sever peers still mid-handshake, too
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		s.cfg.Feed.closeSend()
+	})
+}
+
+// Counters returns the aggregate ingest counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	active := int64(len(s.conns))
+	s.mu.Unlock()
+	return Counters{
+		Conns:           s.accepted.Load(),
+		ActiveConns:     active,
+		Frames:          s.frames.Load(),
+		IngestedRecords: s.ingested.Load(),
+		DroppedRecords:  s.dropped.Load(),
+		DecodeErrors:    s.decErrs.Load(),
+	}
+}
+
+// ConnCounters returns a per-connection counter snapshot, ordered by
+// connection ID.
+func (s *Server) ConnCounters() []ConnCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ConnCounters, 0, len(s.conns))
+	for _, c := range s.conns {
+		out = append(out, ConnCounters{
+			ID:              c.id,
+			Remote:          c.conn.RemoteAddr().String(),
+			Format:          c.format.String(),
+			Frames:          c.frames.Load(),
+			IngestedRecords: c.ingested.Load(),
+			DroppedRecords:  c.dropped.Load(),
+			DecodeErrors:    c.decErrs.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// acceptLoop is one acceptor shard.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closing.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			time.Sleep(time.Millisecond) // transient accept error
+			continue
+		}
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle runs one connection: handshake, then the frame/credit loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		return
+	}
+	s.pending[conn] = struct{}{}
+	s.mu.Unlock()
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	format, status, err := readHello(conn)
+	s.mu.Lock()
+	delete(s.pending, conn)
+	s.mu.Unlock()
+	if err != nil {
+		writeAck(conn, status, 0)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		return
+	}
+	s.nextID++
+	c := &serverConn{id: s.nextID, conn: conn, format: format}
+	s.conns[c.id] = c
+	s.mu.Unlock()
+	s.cfg.Feed.register(c.id)
+
+	defer func() {
+		// Ordered cursor retirement: the sentinel travels the feed
+		// behind the connection's last batch, so the watermark cannot
+		// pass data still queued. During shutdown the direct path
+		// removes the cursor instead.
+		if !s.cfg.Feed.push(batch{conn: c.id, retire: true}) {
+			s.cfg.Feed.retire(c.id)
+		}
+		s.mu.Lock()
+		delete(s.conns, c.id)
+		s.mu.Unlock()
+	}()
+
+	if writeAck(conn, statusOK, uint16(s.cfg.FrameCredits)) != nil {
+		return
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	for {
+		payload, eos, err := readFrame(br, buf, s.cfg.MaxFrameBytes)
+		if err != nil || eos {
+			return // clean EOS, peer gone, or oversized frame
+		}
+		buf = payload[:cap(payload)]
+		s.frames.Add(1)
+		c.frames.Add(1)
+
+		cols, maxTs := s.decodeFrame(c, payload)
+		if cols != nil {
+			if s.cfg.Feed.push(batch{conn: c.id, cols: cols, maxTs: maxTs}) {
+				n := int64(len(cols[0]))
+				s.ingested.Add(n)
+				c.ingested.Add(n)
+			} else {
+				// Draining: the pipeline no longer accepts records.
+				n := int64(len(cols[0]))
+				s.dropped.Add(n)
+				c.dropped.Add(n)
+				return
+			}
+		}
+
+		// Credit regeneration: one credit per consumed frame, withheld
+		// while the engine reports backpressure. Clients block on their
+		// send window, so pipeline overload propagates to the traffic
+		// sources instead of filling server memory.
+		for s.cfg.Overloaded != nil && s.cfg.Overloaded() {
+			if s.closing.Load() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if writeCredit(conn, 1) != nil {
+			return
+		}
+	}
+}
+
+// decodeFrame decodes one frame payload into a column-major batch using
+// the streaming decoders (network bytes are untrusted: errors are
+// counted, never fatal to the server). Returns nil when no record
+// survives.
+func (s *Server) decodeFrame(c *serverConn, payload []byte) ([][]uint64, uint64) {
+	schema := s.cfg.Feed.Schema()
+	cols := make([][]uint64, schema.NumCols)
+	dec := parsefmt.NewStreamDecoder(c.format, bytes.NewReader(payload))
+	var maxTs uint64
+	n := 0
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Malformed payload: keep the records already decoded,
+			// drop the rest of the frame.
+			s.decErrs.Add(1)
+			c.decErrs.Add(1)
+			break
+		}
+		rc := rec.Cols()
+		for i := range cols {
+			cols[i] = append(cols[i], rc[i])
+		}
+		if rc[schema.TsCol] > maxTs {
+			maxTs = rc[schema.TsCol]
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	return cols, maxTs
+}

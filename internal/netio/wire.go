@@ -1,0 +1,190 @@
+// Package netio turns the native backend into a network server: an
+// ingest listener accepts TCP connections carrying length-prefixed
+// frames of parsefmt-encoded records (binary, JSON or CSV, negotiated
+// in a small handshake), decodes them with the streaming decoders, and
+// hands sealed batches to the runtime through its ExternalFeed seam. A
+// credit-based flow-control loop ties client send permission to the
+// engine's mempool backpressure signal, so an overloaded pipeline slows
+// its clients instead of buffering unboundedly (paper §7.4 treats
+// ingestion as a first-class bottleneck; the ROADMAP north-star is a
+// server for live traffic). The package also serves live query results
+// (/windows) and engine metrics (/metrics) over HTTP, and provides the
+// client used by cmd/sbx-loadgen.
+//
+// # Wire format
+//
+// All integers are big-endian. The client opens with an 8-byte hello:
+//
+//	offset 0: magic "SBX1"
+//	offset 4: protocol version (1)
+//	offset 5: payload format: 0 JSON, 1 binary (PB), 2 text (CSV)
+//	offset 6: reserved (2 bytes, zero)
+//
+// The server answers with an 8-byte ack:
+//
+//	offset 0: magic "SBXA"
+//	offset 4: protocol version (1)
+//	offset 5: status: 0 OK, 1 bad magic/version, 2 bad format
+//	offset 6: initial credit grant, uint16 (frames the client may send)
+//
+// After the ack, the client sends data frames — a uint32 payload length
+// followed by that many bytes of parsefmt-encoded records; a zero
+// length marks a clean end of stream — and the server sends uint32
+// credit grants, each extending the client's send window by that many
+// frames. The client must keep one credit per in-flight frame.
+package netio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"streambox/internal/parsefmt"
+)
+
+// Version is the wire protocol version.
+const Version = 1
+
+var (
+	magicHello = [4]byte{'S', 'B', 'X', '1'}
+	magicAck   = [4]byte{'S', 'B', 'X', 'A'}
+)
+
+// Handshake statuses.
+const (
+	statusOK        = 0
+	statusBadMagic  = 1
+	statusBadFormat = 2
+)
+
+// DefaultMaxFrameBytes caps one frame's payload unless ServerConfig
+// overrides it.
+const DefaultMaxFrameBytes = 4 << 20
+
+// writeHello sends the client's 8-byte hello.
+func writeHello(w io.Writer, f parsefmt.Format) error {
+	var h [8]byte
+	copy(h[:4], magicHello[:])
+	h[4] = Version
+	h[5] = byte(f)
+	_, err := w.Write(h[:])
+	return err
+}
+
+// readHello parses the client hello, distinguishing protocol errors by
+// ack status.
+func readHello(r io.Reader) (parsefmt.Format, byte, error) {
+	var h [8]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, statusBadMagic, fmt.Errorf("netio: reading hello: %w", err)
+	}
+	if [4]byte(h[:4]) != magicHello || h[4] != Version {
+		return 0, statusBadMagic, fmt.Errorf("netio: bad hello magic/version %q v%d", h[:4], h[4])
+	}
+	f := parsefmt.Format(h[5])
+	if f != parsefmt.JSON && f != parsefmt.PB && f != parsefmt.Text {
+		return 0, statusBadFormat, fmt.Errorf("netio: unknown payload format %d", h[5])
+	}
+	return f, statusOK, nil
+}
+
+// writeAck sends the server's 8-byte ack with the initial credit grant.
+func writeAck(w io.Writer, status byte, credits uint16) error {
+	var a [8]byte
+	copy(a[:4], magicAck[:])
+	a[4] = Version
+	a[5] = status
+	binary.BigEndian.PutUint16(a[6:], credits)
+	_, err := w.Write(a[:])
+	return err
+}
+
+// readAck parses the server ack and returns the initial credits.
+func readAck(r io.Reader) (int, error) {
+	var a [8]byte
+	if _, err := io.ReadFull(r, a[:]); err != nil {
+		return 0, fmt.Errorf("netio: reading ack: %w", err)
+	}
+	if [4]byte(a[:4]) != magicAck || a[4] != Version {
+		return 0, fmt.Errorf("netio: bad ack magic/version %q v%d", a[:4], a[4])
+	}
+	switch a[5] {
+	case statusOK:
+		return int(binary.BigEndian.Uint16(a[6:])), nil
+	case statusBadFormat:
+		return 0, fmt.Errorf("netio: server rejected payload format")
+	default:
+		return 0, fmt.Errorf("netio: server rejected handshake (status %d)", a[5])
+	}
+}
+
+// writeFrame sends one data frame; an empty payload is the end-of-stream
+// marker.
+func writeFrame(w io.Writer, payload []byte) error {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(payload)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one data frame into buf (grown as needed), bounding
+// the payload at max bytes. eos is true for the end-of-stream marker.
+func readFrame(r io.Reader, buf []byte, max int) (payload []byte, eos bool, err error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, false, err
+	}
+	size := binary.BigEndian.Uint32(n[:])
+	if size == 0 {
+		return nil, true, nil
+	}
+	if int64(size) > int64(max) {
+		return nil, false, fmt.Errorf("netio: frame of %d bytes exceeds %d-byte limit", size, max)
+	}
+	if cap(buf) < int(size) {
+		buf = make([]byte, size)
+	}
+	payload = buf[:size]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, false, fmt.Errorf("netio: truncated frame: %w", err)
+	}
+	return payload, false, nil
+}
+
+// writeCredit sends one credit grant extending the client's window by n
+// frames.
+func writeCredit(w io.Writer, n uint32) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], n)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readCredit reads one credit grant.
+func readCredit(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// ParseFormat maps a format flag string to a parsefmt.Format.
+func ParseFormat(s string) (parsefmt.Format, error) {
+	switch s {
+	case "json":
+		return parsefmt.JSON, nil
+	case "pb", "binary", "bin":
+		return parsefmt.PB, nil
+	case "text", "csv":
+		return parsefmt.Text, nil
+	default:
+		return 0, fmt.Errorf("netio: unknown format %q (json|pb|text)", s)
+	}
+}

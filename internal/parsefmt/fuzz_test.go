@@ -1,0 +1,57 @@
+package parsefmt
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodePB throws arbitrary bytes at the binary decoders — network
+// bytes are untrusted, so they must return errors, never panic, and the
+// batch and incremental decoders must agree on valid input.
+func FuzzDecodePB(f *testing.F) {
+	f.Add(EncodePB(sampleFuzzRecords()))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x09, 0x08, 0x01, 0x10, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodePB(data) // must not panic
+		_, _ = DecodePBLibrary(data)
+
+		var sgot []Record
+		var serr error
+		d := NewStreamDecoder(PB, bytes.NewReader(data))
+		for serr == nil {
+			var r Record
+			r, serr = d.Next()
+			if serr == nil {
+				sgot = append(sgot, r)
+			}
+		}
+		if err != nil {
+			return
+		}
+		// Valid input: the incremental decoder must produce the same
+		// records and end cleanly.
+		if serr != io.EOF {
+			t.Fatalf("batch decoded %d records but stream failed: %v", len(recs), serr)
+		}
+		if !reflect.DeepEqual(sgot, recs) {
+			t.Fatalf("stream decoded %d records, batch %d", len(sgot), len(recs))
+		}
+		// Decoded records must re-encode and decode to the same values.
+		again, err := DecodePB(EncodePB(recs))
+		if err != nil || !reflect.DeepEqual(again, recs) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}
+
+func sampleFuzzRecords() []Record {
+	return []Record{
+		{AdID: 1, AdType: 2, EventType: 3, UserID: 4, PageID: 5, IP: 6, EventTime: 7},
+		{AdID: ^uint64(0), EventTime: 1 << 62},
+	}
+}

@@ -99,23 +99,36 @@ func DecodePB(data []byte) ([]Record, error) {
 		data = data[n:]
 		msg := data[:msgLen]
 		data = data[msgLen:]
-		var cols [7]uint64
-		for len(msg) > 0 {
-			tag := msg[0]
-			field := int(tag >> 3)
-			if field < 1 || field > 7 {
-				return nil, fmt.Errorf("parsefmt: pb: bad field %d", field)
-			}
-			v, vn := binary.Uvarint(msg[1:])
-			if vn <= 0 {
-				return nil, fmt.Errorf("parsefmt: pb: truncated varint")
-			}
-			cols[field-1] = v
-			msg = msg[1+vn:]
+		r, err := decodePBRecord(msg)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, fromCols(cols))
+		out = append(out, r)
 	}
 	return out, nil
+}
+
+// decodePBRecord parses one length-delimited message body (the strict
+// hand-inlined configuration: fields 1..7 only, wire type 0).
+func decodePBRecord(msg []byte) (Record, error) {
+	if len(msg) > maxWireRecordBytes {
+		return Record{}, fmt.Errorf("parsefmt: pb: message of %d bytes exceeds limit", len(msg))
+	}
+	var cols [7]uint64
+	for len(msg) > 0 {
+		tag := msg[0]
+		field := int(tag >> 3)
+		if field < 1 || field > 7 {
+			return Record{}, fmt.Errorf("parsefmt: pb: bad field %d", field)
+		}
+		v, vn := binary.Uvarint(msg[1:])
+		if vn <= 0 {
+			return Record{}, fmt.Errorf("parsefmt: pb: truncated varint")
+		}
+		cols[field-1] = v
+		msg = msg[1+vn:]
+	}
+	return fromCols(cols), nil
 }
 
 // fieldDescriptor drives the library-style decoder: one entry per
@@ -217,38 +230,53 @@ func DecodeText(data []byte) ([]Record, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var cols [7]uint64
-		field := 0
-		var v uint64
-		digits := 0
-		for i := 0; i <= len(line); i++ {
-			if i == len(line) || line[i] == ',' {
-				if field >= 7 {
-					return nil, fmt.Errorf("parsefmt: text: too many fields")
-				}
-				if digits == 0 {
-					return nil, fmt.Errorf("parsefmt: text: empty field")
-				}
-				cols[field] = v
-				field++
-				v, digits = 0, 0
-				continue
-			}
-			c := line[i]
-			if c < '0' || c > '9' {
-				return nil, fmt.Errorf("parsefmt: text: invalid byte %q", c)
-			}
-			// Allocation-free digit accumulation (the paper cites the
-			// "fastest string-to-uint64" conversion, §7.4).
-			v = v*10 + uint64(c-'0')
-			digits++
+		r, err := parseTextLine(line)
+		if err != nil {
+			return nil, err
 		}
-		if field != 7 {
-			return nil, fmt.Errorf("parsefmt: text: %d fields, want 7", field)
-		}
-		out = append(out, fromCols(cols))
+		out = append(out, r)
 	}
 	return out, nil
+}
+
+// parseTextLine parses one comma-separated record line. Network bytes
+// are untrusted, so values that would overflow uint64 are rejected
+// instead of silently wrapping.
+func parseTextLine(line []byte) (Record, error) {
+	var cols [7]uint64
+	field := 0
+	var v uint64
+	digits := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ',' {
+			if field >= 7 {
+				return Record{}, fmt.Errorf("parsefmt: text: too many fields")
+			}
+			if digits == 0 {
+				return Record{}, fmt.Errorf("parsefmt: text: empty field")
+			}
+			cols[field] = v
+			field++
+			v, digits = 0, 0
+			continue
+		}
+		c := line[i]
+		if c < '0' || c > '9' {
+			return Record{}, fmt.Errorf("parsefmt: text: invalid byte %q", c)
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return Record{}, fmt.Errorf("parsefmt: text: value overflows uint64")
+		}
+		// Allocation-free digit accumulation (the paper cites the
+		// "fastest string-to-uint64" conversion, §7.4).
+		v = v*10 + d
+		digits++
+	}
+	if field != 7 {
+		return Record{}, fmt.Errorf("parsefmt: text: %d fields, want 7", field)
+	}
+	return fromCols(cols), nil
 }
 
 // Format identifies one tested encoding.

@@ -1,0 +1,162 @@
+// Streaming decoders: the batch Decode* entry points require the whole
+// payload in memory, which is fine for Figure 11's parse study but not
+// for network ingestion, where bytes arrive incrementally off a socket
+// and are untrusted. StreamDecoder reads records one at a time from an
+// io.Reader, returns errors (never panics) on malformed or truncated
+// input, and bounds per-record memory so a hostile peer cannot force
+// unbounded allocation.
+package parsefmt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxWireRecordBytes bounds one encoded record on the wire. A legitimate
+// record is well under 200 bytes in every format; anything larger is a
+// corrupt or hostile stream.
+const maxWireRecordBytes = 1 << 16
+
+// StreamDecoder decodes records incrementally from a byte stream. Next
+// returns io.EOF at a clean end of stream and a descriptive error on
+// malformed input; decoding cannot continue after an error.
+type StreamDecoder interface {
+	Next() (Record, error)
+}
+
+// NewStreamDecoder returns an incremental decoder for format f reading
+// from r.
+func NewStreamDecoder(f Format, r io.Reader) StreamDecoder {
+	switch f {
+	case JSON:
+		br := &budgetReader{r: r}
+		return &jsonStream{dec: json.NewDecoder(br), br: br}
+	case PB:
+		return &pbStream{br: bufio.NewReader(r)}
+	default:
+		return &textStream{br: bufio.NewReader(r)}
+	}
+}
+
+// --- JSON -------------------------------------------------------------------
+
+// budgetReader enforces the per-record byte bound for the JSON decoder,
+// whose internal buffering would otherwise grow without limit on a
+// hostile unterminated value: each Next replenishes the read budget, so
+// a single record can pull at most maxWireRecordBytes (plus buffered
+// readahead) before erroring out.
+type budgetReader struct {
+	r      io.Reader
+	budget int
+}
+
+var errRecordTooLarge = fmt.Errorf("parsefmt: json: record exceeds %d-byte limit", maxWireRecordBytes)
+
+func (b *budgetReader) Read(p []byte) (int, error) {
+	if b.budget <= 0 {
+		return 0, errRecordTooLarge
+	}
+	if len(p) > b.budget {
+		p = p[:b.budget]
+	}
+	n, err := b.r.Read(p)
+	b.budget -= n
+	return n, err
+}
+
+type jsonStream struct {
+	dec *json.Decoder
+	br  *budgetReader
+}
+
+func (d *jsonStream) Next() (Record, error) {
+	d.br.budget = maxWireRecordBytes
+	var r Record
+	if err := d.dec.Decode(&r); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("parsefmt: json: %w", err)
+	}
+	return r, nil
+}
+
+// --- Protobuf-style varint binary -------------------------------------------
+
+type pbStream struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+func (d *pbStream) Next() (Record, error) {
+	msgLen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("parsefmt: pb: length prefix: %w", err)
+	}
+	if msgLen > maxWireRecordBytes {
+		return Record{}, fmt.Errorf("parsefmt: pb: message of %d bytes exceeds limit", msgLen)
+	}
+	if uint64(cap(d.buf)) < msgLen {
+		d.buf = make([]byte, msgLen)
+	}
+	msg := d.buf[:msgLen]
+	if _, err := io.ReadFull(d.br, msg); err != nil {
+		return Record{}, fmt.Errorf("parsefmt: pb: truncated message: %w", err)
+	}
+	return decodePBRecord(msg)
+}
+
+// --- Text (comma-separated integers) ----------------------------------------
+
+type textStream struct {
+	br *bufio.Reader
+}
+
+func (d *textStream) Next() (Record, error) {
+	for {
+		line, err := d.readLine()
+		if err != nil {
+			return Record{}, err
+		}
+		if len(line) == 0 {
+			continue // blank line, as in the batch decoder
+		}
+		return parseTextLine(line)
+	}
+}
+
+// readLine reads one newline-terminated line (the final line may omit
+// the newline), bounding its length.
+func (d *textStream) readLine() ([]byte, error) {
+	var long []byte
+	for {
+		chunk, err := d.br.ReadSlice('\n')
+		switch err {
+		case nil:
+			line := chunk[:len(chunk)-1]
+			if long != nil {
+				line = append(long, line...)
+			}
+			return bytes.TrimSuffix(line, []byte{'\r'}), nil
+		case bufio.ErrBufferFull:
+			long = append(long, chunk...)
+			if len(long) > maxWireRecordBytes {
+				return nil, fmt.Errorf("parsefmt: text: line of %d+ bytes exceeds limit", len(long))
+			}
+		case io.EOF:
+			if len(chunk) == 0 && long == nil {
+				return nil, io.EOF
+			}
+			return append(long, chunk...), nil
+		default:
+			return nil, fmt.Errorf("parsefmt: text: %w", err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package parsefmt
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func wireSampleRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		u := uint64(i)
+		recs[i] = Record{
+			AdID:      u % 97,
+			AdType:    u % 5,
+			EventType: u % 3,
+			UserID:    u * 2654435761,
+			PageID:    u % 1000,
+			IP:        0xC0A80000 + u,
+			EventTime: u * 100,
+		}
+	}
+	return recs
+}
+
+// drain reads every record from a stream decoder until io.EOF.
+func drain(t *testing.T, d StreamDecoder) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		r, err := d.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, r)
+	}
+}
+
+// TestStreamDecodersRoundTrip checks the incremental decoders agree
+// with the batch decoders on every format, including through a reader
+// that delivers one byte at a time.
+func TestStreamDecodersRoundTrip(t *testing.T) {
+	recs := wireSampleRecords(257)
+	for _, f := range []Format{JSON, PB, Text} {
+		data := Encode(f, recs)
+		got := drain(t, NewStreamDecoder(f, bytes.NewReader(data)))
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("%v: stream decode mismatch", f)
+		}
+		got = drain(t, NewStreamDecoder(f, iotest1{bytes.NewReader(data)}))
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("%v: one-byte-at-a-time stream decode mismatch", f)
+		}
+	}
+}
+
+// iotest1 yields at most one byte per Read (a worst-case fragmented
+// network stream).
+type iotest1 struct{ r io.Reader }
+
+func (o iotest1) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+// TestStreamDecodersTruncated checks every format reports an error (not
+// a panic, not silent success) on a truncated stream.
+func TestStreamDecodersTruncated(t *testing.T) {
+	recs := wireSampleRecords(4)
+	for _, f := range []Format{JSON, PB, Text} {
+		data := Encode(f, recs)
+		cut := len(data) - 3
+		if f == Text {
+			// Cutting mid-digit leaves a shorter but valid number, which
+			// no CSV decoder can detect; cut a whole field instead.
+			cut = bytes.LastIndexByte(data, ',')
+		}
+		d := NewStreamDecoder(f, bytes.NewReader(data[:cut]))
+		var err error
+		for err == nil {
+			_, err = d.Next()
+		}
+		if err == io.EOF {
+			t.Fatalf("%v: truncated stream decoded cleanly", f)
+		}
+	}
+}
+
+// TestStreamDecoderGarbage checks malformed bytes surface as errors on
+// every format.
+func TestStreamDecoderGarbage(t *testing.T) {
+	garbage := []byte("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xffnot,a,record\n")
+	for _, f := range []Format{JSON, PB, Text} {
+		d := NewStreamDecoder(f, bytes.NewReader(garbage))
+		var err error
+		for err == nil {
+			_, err = d.Next()
+		}
+		if err == io.EOF {
+			t.Fatalf("%v: garbage decoded cleanly", f)
+		}
+	}
+}
+
+// TestTextOverflowRejected checks the text decoder rejects values that
+// would overflow uint64 instead of silently wrapping.
+func TestTextOverflowRejected(t *testing.T) {
+	line := []byte("99999999999999999999999,1,2,3,4,5,6\n")
+	if _, err := DecodeText(line); err == nil {
+		t.Fatal("batch decoder accepted overflowing value")
+	}
+	d := NewStreamDecoder(Text, bytes.NewReader(line))
+	if _, err := d.Next(); err == nil {
+		t.Fatal("stream decoder accepted overflowing value")
+	}
+}
+
+// TestJSONOversizedRecordRejected checks the JSON stream decoder bounds
+// per-record memory: a hostile unterminated value must error out, not
+// buffer without limit.
+func TestJSONOversizedRecordRejected(t *testing.T) {
+	endless := io.MultiReader(strings.NewReader(`{"ad_id":1`), repeatReader{b: []byte("1")})
+	d := NewStreamDecoder(JSON, endless)
+	if _, err := d.Next(); err == nil || err == io.EOF {
+		t.Fatalf("unterminated JSON value accepted: %v", err)
+	}
+}
+
+// repeatReader yields its byte pattern forever.
+type repeatReader struct{ b []byte }
+
+func (r repeatReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.b[i%len(r.b)]
+	}
+	return len(p), nil
+}
+
+// TestPBOversizedMessageRejected checks the incremental binary decoder
+// bounds per-record allocation.
+func TestPBOversizedMessageRejected(t *testing.T) {
+	// A length prefix claiming a 1 GiB record.
+	data := []byte{0x80, 0x80, 0x80, 0x80, 0x04, 0x08, 0x01}
+	d := NewStreamDecoder(PB, bytes.NewReader(data))
+	if _, err := d.Next(); err == nil || err == io.EOF {
+		t.Fatalf("oversized message accepted: %v", err)
+	}
+}

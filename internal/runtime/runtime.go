@@ -28,11 +28,35 @@ import (
 	"streambox/internal/wm"
 )
 
+// BackpressureUtilization is the DRAM pool utilization above which
+// ingest stalls — and above which the network ingest server withholds
+// flow-control credits from clients.
+const BackpressureUtilization = 0.95
+
 // Filter keeps records whose column Col satisfies Keep; filters fuse
 // into the extraction pass.
 type Filter struct {
 	Col  int
 	Keep func(uint64) bool
+}
+
+// ExternalFeed supplies record batches pushed from outside the process
+// (network ingestion, internal/netio). The native backend pulls sealed
+// batches from it instead of calling a Generator; the run drains and
+// terminates when the feed closes.
+type ExternalFeed interface {
+	// Schema is the record layout of every batch.
+	Schema() bundle.Schema
+	// Recv blocks up to maxWait (forever when <= 0) for the next
+	// column-major batch (one slice per schema column, equal lengths).
+	// ok is false when the feed is closed and fully drained; idle is
+	// true when maxWait elapsed first — the runtime uses idle ticks to
+	// keep closing windows while connections are quiet.
+	Recv(maxWait time.Duration) (cols [][]uint64, ok, idle bool)
+	// Watermark is the stream's event-time watermark: the minimum over
+	// connected sources of the highest timestamp each has delivered.
+	// Windows ending at or before it are safe to close.
+	Watermark() wm.Time
 }
 
 // Plan is the native operator path: one source feeding
@@ -45,6 +69,11 @@ type Plan struct {
 	// native backend runs as fast as the hardware allows).
 	Gen    engine.Generator
 	Source engine.SourceConfig
+	// Feed, when non-nil, replaces Gen: batches arrive pushed from the
+	// network and the run lasts until the feed closes. Source is then
+	// only consulted for WatermarkEvery (the watermark refresh cadence,
+	// in batches).
+	Feed ExternalFeed
 	// Win is the pipeline windowing.
 	Win wm.Windowing
 	// TotalRecords is the number of records to ingest.
@@ -60,24 +89,36 @@ type Plan struct {
 	Label string
 }
 
+// schema returns the record layout of the plan's source.
+func (p Plan) schema() bundle.Schema {
+	if p.Feed != nil {
+		return p.Feed.Schema()
+	}
+	return p.Gen.Schema()
+}
+
 // Validate reports plan errors.
 func (p Plan) Validate() error {
-	if p.Gen == nil {
-		return fmt.Errorf("runtime: plan has no generator")
+	if (p.Gen == nil) == (p.Feed == nil) {
+		return fmt.Errorf("runtime: plan needs exactly one of Gen and Feed")
 	}
-	if err := p.Source.Validate(); err != nil {
-		return err
+	if p.Gen != nil {
+		if err := p.Source.Validate(); err != nil {
+			return err
+		}
+		if p.TotalRecords <= 0 {
+			return fmt.Errorf("runtime: total records must be positive")
+		}
+	} else if p.Source.WatermarkEvery <= 0 {
+		return fmt.Errorf("runtime: feed plans need a positive watermark cadence")
 	}
 	if err := p.Win.Validate(); err != nil {
 		return err
 	}
-	if p.TotalRecords <= 0 {
-		return fmt.Errorf("runtime: total records must be positive")
-	}
 	if p.NewAgg == nil {
 		return fmt.Errorf("runtime: plan has no aggregator")
 	}
-	schema := p.Gen.Schema()
+	schema := p.schema()
 	if p.TsCol < 0 || p.TsCol >= schema.NumCols {
 		return fmt.Errorf("runtime: window timestamp column %d out of range", p.TsCol)
 	}
@@ -119,6 +160,11 @@ type Config struct {
 	// pool before the run fails with an error instead of hanging
 	// (0 picks 5 s).
 	ExhaustTimeout time.Duration
+	// WindowSink, when non-nil, receives every closed window's result
+	// rows as it closes — the live-query feed for netio's result store.
+	// It is called from worker goroutines and must be safe for
+	// concurrent use.
+	WindowSink func(start, end wm.Time, rows []Row)
 }
 
 // Row is one keyed result: (key, aggregate, window start).
@@ -162,13 +208,16 @@ type exec struct {
 	hbmKPAs   atomic.Int64
 	dramKPAs  atomic.Int64
 	emitted   atomic.Int64
+	ingested  atomic.Int64
+	paused    atomic.Int64 // nanoseconds ingest spent blocked
 
 	wmu     sync.Mutex
 	windows map[wm.Time]*winEntry
 	closed  int
 
-	rmu  sync.Mutex
-	rows []Row
+	rmu      sync.Mutex
+	rows     []Row
+	sinkRows map[wm.Time][]Row // per-window staging for WindowSink
 
 	emu  sync.Mutex
 	errs []error
@@ -187,8 +236,67 @@ type winEntry struct {
 // Run executes the plan and blocks until every record is ingested and
 // every window is closed.
 func Run(plan Plan, cfg Config) (Report, error) {
-	if err := plan.Validate(); err != nil {
+	e, err := Start(plan, cfg)
+	if err != nil {
 		return Report{}, err
+	}
+	return e.Wait()
+}
+
+// Execution is a live native run started with Start. It exposes the
+// engine state the serving layer scrapes for /metrics — pool usage,
+// queue depths, knob probabilities — while the run is in flight, and
+// Wait delivers the final report after the source (generator or
+// network feed) is exhausted and every window has closed.
+type Execution struct {
+	x    *exec
+	done chan struct{}
+	rep  Report
+	err  error
+}
+
+// Wait blocks until the run completes and returns its report. For feed
+// plans the run completes when the feed closes and drains; close the
+// ingest listener to initiate a graceful drain.
+func (e *Execution) Wait() (Report, error) {
+	<-e.done
+	return e.rep, e.err
+}
+
+// Done is closed when the run completes — including fatal pipeline
+// errors, so the serving layer can tear down its listeners instead of
+// accepting traffic for a dead pipeline.
+func (e *Execution) Done() <-chan struct{} { return e.done }
+
+// Ingested returns the records ingested so far.
+func (e *Execution) Ingested() int64 { return e.x.ingested.Load() }
+
+// WindowsClosed returns the windows closed so far.
+func (e *Execution) WindowsClosed() int {
+	e.x.wmu.Lock()
+	defer e.x.wmu.Unlock()
+	return e.x.closed
+}
+
+// MemSnapshot returns a consistent view of the mempool.
+func (e *Execution) MemSnapshot() mempool.Snapshot { return e.x.pool.Snapshot() }
+
+// QueueDepths returns the scheduler backlog per priority class.
+func (e *Execution) QueueDepths() [numPriorities]int { return e.x.sched.QueuedByPriority() }
+
+// KnobState returns the demand-balance knob's current probabilities.
+func (e *Execution) KnobState() (kLow, kHigh float64) { return e.x.knob.Snapshot() }
+
+// DRAMUtilization returns the DRAM pool utilization in [0,1] — the
+// signal the ingest server's credit policy compares against
+// BackpressureUtilization.
+func (e *Execution) DRAMUtilization() float64 { return e.x.pool.Utilization(memsim.DRAM) }
+
+// Start launches the plan on the worker pool and returns immediately;
+// use Wait for the final report.
+func Start(plan Plan, cfg Config) (*Execution, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
 	}
 	machine := cfg.Machine
 	if machine.Cores == 0 {
@@ -213,57 +321,81 @@ func Run(plan Plan, cfg Config) (Report, error) {
 	}
 
 	x := &exec{
-		plan:    plan,
-		cfg:     cfg,
-		sched:   NewScheduler(workers),
-		pool:    mempool.New(machine, reserved),
-		reg:     bundle.NewRegistry(),
-		knob:    engine.NewKnob(cfg.Seed + 1),
-		windows: make(map[wm.Time]*winEntry),
+		plan:     plan,
+		cfg:      cfg,
+		sched:    NewScheduler(workers),
+		pool:     mempool.New(machine, reserved),
+		reg:      bundle.NewRegistry(),
+		knob:     engine.NewKnob(cfg.Seed + 1),
+		windows:  make(map[wm.Time]*winEntry),
+		sinkRows: make(map[wm.Time][]Row),
 	}
 
 	stopMonitor := x.startMonitor(machine)
-	start := time.Now()
-	ingested, paused := x.ingest()
-	// Final watermark: past every generated timestamp, closing all
-	// remaining windows once their extractions drain.
-	x.watermark(^wm.Time(0) - plan.Win.Size)
-	x.sched.Wait()
-	elapsed := time.Since(start)
-	stopMonitor()
-	x.sched.Close()
+	e := &Execution{x: x, done: make(chan struct{})}
+	go func() {
+		defer close(e.done)
+		start := time.Now()
+		if plan.Feed != nil {
+			x.ingestFeed()
+		} else {
+			x.ingest()
+		}
+		// Final watermark: past every generated timestamp, closing all
+		// remaining windows once their extractions drain.
+		x.watermark(^wm.Time(0) - plan.Win.Size)
+		x.sched.Wait()
+		elapsed := time.Since(start)
+		stopMonitor()
+		x.sched.Close()
 
-	rep := Report{
-		IngestedRecords: ingested,
-		EmittedRecords:  x.emitted.Load(),
-		WindowsClosed:   x.closed,
-		Elapsed:         elapsed,
-		Rows:            x.rows,
-		Sched:           x.sched.Stats(),
-		HBMKPAs:         x.hbmKPAs.Load(),
-		DRAMKPAs:        x.dramKPAs.Load(),
-		PausedNanos:     paused,
-	}
-	rep.KLow, rep.KHigh = x.knob.Snapshot()
-	if sec := elapsed.Seconds(); sec > 0 {
-		rep.Throughput = float64(ingested) / sec
-	}
-	var err error
-	x.emu.Lock()
-	if len(x.errs) > 0 {
-		err = x.errs[0]
-	}
-	x.emu.Unlock()
-	return rep, err
+		ingested := x.ingested.Load()
+		rep := Report{
+			IngestedRecords: ingested,
+			EmittedRecords:  x.emitted.Load(),
+			WindowsClosed:   x.closed,
+			Elapsed:         elapsed,
+			Rows:            x.rows,
+			Sched:           x.sched.Stats(),
+			HBMKPAs:         x.hbmKPAs.Load(),
+			DRAMKPAs:        x.dramKPAs.Load(),
+			PausedNanos:     x.paused.Load(),
+		}
+		rep.KLow, rep.KHigh = x.knob.Snapshot()
+		if sec := elapsed.Seconds(); sec > 0 {
+			rep.Throughput = float64(ingested) / sec
+		}
+		x.emu.Lock()
+		if len(x.errs) > 0 {
+			e.err = x.errs[0]
+		}
+		x.emu.Unlock()
+		e.rep = rep
+	}()
+	return e, nil
 }
 
-// ingest is the driver loop: it builds bundles as fast as backpressure
-// allows, submits one extraction task per bundle, and advances the
-// watermark on the configured cadence. Returns (records, paused ns).
-func (x *exec) ingest() (int64, int64) {
+// stallIngest blocks while the scheduler backlog or DRAM utilization is
+// above the backpressure thresholds (the native analogue of the monitor
+// pausing sources in the simulator). The utilization wait is bounded —
+// a pool that stays full is handled by the exhaustion path.
+func (x *exec) stallIngest() {
+	if x.sched.Queued() < x.cfg.MaxQueuedTasks && x.pool.Utilization(memsim.DRAM) <= BackpressureUtilization {
+		return
+	}
+	t0 := time.Now()
+	x.sched.WaitQueuedBelow(x.cfg.MaxQueuedTasks)
+	for x.pool.Utilization(memsim.DRAM) > BackpressureUtilization && time.Since(t0) < time.Second {
+		time.Sleep(200 * time.Microsecond)
+	}
+	x.paused.Add(time.Since(t0).Nanoseconds())
+}
+
+// ingest is the generator driver loop: it builds bundles as fast as
+// backpressure allows, submits one extraction task per bundle, and
+// advances the watermark on the configured cadence.
+func (x *exec) ingest() {
 	var (
-		ingested  int64
-		pausedNs  int64
 		bundleCnt int
 		nextTs    wm.Time
 	)
@@ -271,22 +403,11 @@ func (x *exec) ingest() (int64, int64) {
 	n := x.plan.Source.BundleRecords
 	tsPerRecord := float64(x.plan.Win.Size) / float64(x.plan.Source.WindowRecords)
 	var exhaustedSince time.Time
-	for ingested < x.plan.TotalRecords {
-		if rest := x.plan.TotalRecords - ingested; int64(n) > rest {
+	for x.ingested.Load() < x.plan.TotalRecords {
+		if rest := x.plan.TotalRecords - x.ingested.Load(); int64(n) > rest {
 			n = int(rest)
 		}
-		// Backpressure: a deep task backlog or a nearly exhausted DRAM
-		// pool stalls ingest (the native analogue of the monitor
-		// pausing sources in the simulator). The utilization wait is
-		// bounded — a pool that stays full is handled below.
-		if x.sched.Queued() >= x.cfg.MaxQueuedTasks || x.pool.Utilization(memsim.DRAM) > 0.95 {
-			t0 := time.Now()
-			x.sched.WaitQueuedBelow(x.cfg.MaxQueuedTasks)
-			for x.pool.Utilization(memsim.DRAM) > 0.95 && time.Since(t0) < time.Second {
-				time.Sleep(200 * time.Microsecond)
-			}
-			pausedNs += time.Since(t0).Nanoseconds()
-		}
+		x.stallIngest()
 		b, tsHi, err := x.buildBundle(schema, n, nextTs, tsPerRecord)
 		if err != nil {
 			if _, exhausted := err.(*mempool.ErrExhausted); exhausted {
@@ -305,7 +426,7 @@ func (x *exec) ingest() (int64, int64) {
 				}
 				t0 := time.Now()
 				time.Sleep(200 * time.Microsecond)
-				pausedNs += time.Since(t0).Nanoseconds()
+				x.paused.Add(time.Since(t0).Nanoseconds())
 				continue
 			}
 			x.recordError(err)
@@ -313,14 +434,122 @@ func (x *exec) ingest() (int64, int64) {
 		}
 		exhaustedSince = time.Time{}
 		nextTs = tsHi
-		ingested += int64(b.Rows())
+		x.ingested.Add(int64(b.Rows()))
 		bundleCnt++
 		x.submitExtract(b, tsHi)
 		if bundleCnt%x.plan.Source.WatermarkEvery == 0 {
 			x.watermark(tsHi)
 		}
 	}
-	return ingested, pausedNs
+}
+
+// ingestFeed is the external-source driver loop: batches arrive pushed
+// from the network feed instead of being generated in-process. The
+// same backpressure gates apply — and because the serving layer wires
+// DRAMUtilization into the ingest server's credit policy, a stall here
+// propagates to clients as withheld credits rather than unbounded
+// buffering. The loop exits when the feed closes (listener shutdown)
+// and the caller's final watermark drains every open window.
+func (x *exec) ingestFeed() {
+	feed := x.plan.Feed
+	schema := feed.Schema()
+	var bundleCnt int
+	for {
+		x.stallIngest()
+		// The idle tick advances the watermark while connections are
+		// quiet, so a burst's trailing windows close (and become
+		// queryable) without waiting for the next batch or a shutdown.
+		// Every batch delivered so far is registered, so the feed's
+		// watermark is safe to apply here.
+		cols, ok, idle := feed.Recv(10 * x.cfg.MonitorInterval)
+		if idle {
+			if w := feed.Watermark(); w > 0 {
+				x.watermark(w)
+			}
+			continue
+		}
+		if !ok {
+			return
+		}
+		if len(cols) != schema.NumCols || len(cols) == 0 || len(cols[0]) == 0 {
+			x.recordError(fmt.Errorf("runtime: feed batch has %d columns, schema wants %d", len(cols), schema.NumCols))
+			continue
+		}
+		ts := cols[x.plan.TsCol]
+		minTs, maxTs := ts[0], ts[0]
+		for _, v := range ts[1:] {
+			if v > maxTs {
+				maxTs = v
+			}
+			if v < minTs {
+				minTs = v
+			}
+		}
+		var exhaustedSince time.Time
+		for {
+			b, err := x.buildFeedBundle(schema, cols)
+			if err == nil {
+				x.ingested.Add(int64(b.Rows()))
+				x.submitExtract(b, maxTs)
+				break
+			}
+			if _, exhausted := err.(*mempool.ErrExhausted); exhausted {
+				// Same recovery as the generator path: force a watermark
+				// so closable windows drain and their memory returns —
+				// clamped below this still-unregistered batch's earliest
+				// timestamp so no window it contributes to closes early
+				// (the feed's cursor already covers the batch).
+				w := feed.Watermark()
+				if w > minTs {
+					w = minTs
+				}
+				x.watermark(w)
+				if exhaustedSince.IsZero() {
+					exhaustedSince = time.Now()
+				} else if time.Since(exhaustedSince) > x.cfg.ExhaustTimeout {
+					x.recordError(fmt.Errorf("runtime: %s: DRAM exhausted for %v: pipeline state exceeds machine DRAM (%w)",
+						x.plan.Label, x.cfg.ExhaustTimeout, err))
+					return
+				}
+				t0 := time.Now()
+				time.Sleep(200 * time.Microsecond)
+				x.paused.Add(time.Since(t0).Nanoseconds())
+				continue
+			}
+			x.recordError(err)
+			return
+		}
+		bundleCnt++
+		if bundleCnt%x.plan.Source.WatermarkEvery == 0 {
+			if w := feed.Watermark(); w > 0 {
+				x.watermark(w)
+			}
+		}
+	}
+}
+
+// buildFeedBundle allocates and seals one bundle holding an external
+// batch, charging the DRAM pool exactly like generated ingress.
+func (x *exec) buildFeedBundle(schema bundle.Schema, cols [][]uint64) (*bundle.Bundle, error) {
+	n := len(cols[0])
+	alloc, err := x.pool.Alloc(memsim.DRAM, int64(n)*schema.RecordBytes())
+	if err != nil {
+		return nil, err
+	}
+	bd, err := x.reg.NewBuilder(schema, n, memsim.DRAM)
+	if err != nil {
+		alloc.Free()
+		return nil, err
+	}
+	if err := bd.AttachAlloc(alloc); err != nil {
+		alloc.Free()
+		return nil, err
+	}
+	if err := bd.AppendColumnar(cols...); err != nil {
+		alloc.Free()
+		return nil, err
+	}
+	return bd.Seal(), nil
 }
 
 // buildBundle allocates, fills and seals one ingress bundle. An
@@ -581,7 +810,7 @@ func (x *exec) submitReduce(start wm.Time, k *kpa.KPA) {
 				if err != nil {
 					x.recordError(err)
 				}
-				x.emitRows(out)
+				x.emitRows(start, out)
 				x.addDRAMTraffic(int64(hi-lo) * 8)
 				if remaining.Add(-1) == 0 {
 					k.Destroy()
@@ -592,23 +821,36 @@ func (x *exec) submitReduce(start wm.Time, k *kpa.KPA) {
 	}
 }
 
-// emitRows records a batch of results.
-func (x *exec) emitRows(rows []Row) {
+// emitRows records a batch of results for window start.
+func (x *exec) emitRows(start wm.Time, rows []Row) {
 	x.emitted.Add(int64(len(rows)))
-	if !x.cfg.Capture {
+	if !x.cfg.Capture && x.cfg.WindowSink == nil {
 		return
 	}
 	x.rmu.Lock()
-	x.rows = append(x.rows, rows...)
+	if x.cfg.Capture {
+		x.rows = append(x.rows, rows...)
+	}
+	if x.cfg.WindowSink != nil {
+		x.sinkRows[start] = append(x.sinkRows[start], rows...)
+	}
 	x.rmu.Unlock()
 }
 
-// finishWindow retires a closed window.
+// finishWindow retires a closed window and, when a WindowSink is
+// configured, publishes its result rows.
 func (x *exec) finishWindow(start wm.Time) {
 	x.wmu.Lock()
 	delete(x.windows, start)
 	x.closed++
 	x.wmu.Unlock()
+	if x.cfg.WindowSink != nil {
+		x.rmu.Lock()
+		rows := x.sinkRows[start]
+		delete(x.sinkRows, start)
+		x.rmu.Unlock()
+		x.cfg.WindowSink(start, x.plan.Win.End(start), rows)
+	}
 }
 
 // allocator returns a knob-driven KPA allocator for the given tag:

@@ -95,6 +95,20 @@ func (s *Scheduler) Queued() int {
 	return s.queued
 }
 
+// QueuedByPriority returns the waiting tasks per priority class
+// (indexed by engine.Tag.Priority()) for the /metrics endpoint.
+func (s *Scheduler) QueuedByPriority() [numPriorities]int {
+	var out [numPriorities]int
+	for _, w := range s.workers {
+		w.mu.Lock()
+		for pri := range w.q {
+			out[pri] += len(w.q[pri])
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
 // WaitQueuedBelow blocks until fewer than n tasks are waiting — the
 // ingest path's backpressure hook.
 func (s *Scheduler) WaitQueuedBelow(n int) {

@@ -18,12 +18,15 @@ package streambox
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 
 	"streambox/internal/algo"
 	"streambox/internal/engine"
 	"streambox/internal/ingress"
 	"streambox/internal/kpa"
 	"streambox/internal/memsim"
+	"streambox/internal/netio"
 	"streambox/internal/ops"
 	"streambox/internal/runtime"
 	"streambox/internal/wm"
@@ -156,6 +159,30 @@ type RunConfig struct {
 	Seed int64
 	// RecordSeries captures the monitor time series in the report.
 	RecordSeries bool
+	// Serve configures network serving for Serve; Run ignores it.
+	Serve *ServeConfig
+}
+
+// ServeConfig configures a network-serving execution (Serve): where to
+// listen for ingest traffic and for live queries.
+type ServeConfig struct {
+	// IngestAddr is the TCP ingest listener address, e.g. ":7077" or
+	// "127.0.0.1:0" (required).
+	IngestAddr string
+	// HTTPAddr is the query/metrics listener address; empty disables
+	// the HTTP endpoint.
+	HTTPAddr string
+	// KeepWindows is the number of recent closed windows retained per
+	// sink for GET /windows (0 picks 16).
+	KeepWindows int
+	// FrameCredits is the per-connection flow-control window in frames
+	// (0 picks 16).
+	FrameCredits int
+	// MaxFrameBytes caps one ingest frame's payload (0 picks 4 MiB).
+	MaxFrameBytes int
+	// FeedBuffer is the decoded-batch buffer between the ingest server
+	// and the runtime, in batches (0 picks 64).
+	FeedBuffer int
 }
 
 // KNL returns the paper's Knights Landing machine (Table 3).
@@ -173,6 +200,13 @@ type Report struct {
 	// the native backend.
 	IngestedRecords int64
 	Throughput      float64
+	// DroppedRecords counts records decoded off the network but
+	// discarded because the pipeline was draining; in-process
+	// generators drop nothing, so it is 0 for generator sources.
+	DroppedRecords int64
+	// DecodeErrors counts network frames whose payload failed to
+	// decode (0 for generator sources, whose records need no parsing).
+	DecodeErrors int64
 	// WallSeconds is the real elapsed time of a native run (0 when
 	// simulated).
 	WallSeconds float64
@@ -199,10 +233,11 @@ type Pipeline struct {
 }
 
 type sourceDecl struct {
-	gen   Generator
-	cfg   SourceConfig
-	stage *stageDecl
-	port  int
+	gen     Generator
+	cfg     SourceConfig
+	stage   *stageDecl
+	port    int
+	network bool // fed by a netio ingest listener instead of gen
 }
 
 // stageKind classifies a stage for native-backend translation. The
@@ -273,6 +308,29 @@ func (p *Pipeline) Source(gen Generator, cfg SourceConfig) Stream {
 	entry := p.addStage(func() engine.Operator { return &ops.ProjectOp{} })
 	entry.kind = kindPass
 	p.sources = append(p.sources, sourceDecl{gen: gen, cfg: cfg, stage: entry})
+	return Stream{p: p, stage: entry}
+}
+
+// NetworkColumns names the columns of network-fed sources, in order:
+// ad_id, ad_type, event_type, user_id, page_id, ip, event_time. The
+// timestamp is event_time — column 6, in event-time ticks.
+func NetworkColumns() []string {
+	return append([]string(nil), netio.WireSchema().Names...)
+}
+
+// NetworkTsCol is the timestamp column of network-fed sources.
+const NetworkTsCol = 6
+
+// NetworkSource declares a source whose records arrive over TCP from
+// external clients (sbx-loadgen, or any speaker of the netio wire
+// format) instead of an in-process generator. The stream carries the
+// NetworkSchema layout. Pipelines with a network source run on the
+// native backend via Serve; cfg only needs WatermarkEvery (the
+// watermark refresh cadence in received frames — zero picks 4).
+func (p *Pipeline) NetworkSource(cfg SourceConfig) Stream {
+	entry := p.addStage(func() engine.Operator { return &ops.ProjectOp{} })
+	entry.kind = kindPass
+	p.sources = append(p.sources, sourceDecl{cfg: cfg, stage: entry, network: true})
 	return Stream{p: p, stage: entry}
 }
 
@@ -449,6 +507,11 @@ func Run(p *Pipeline, cfg RunConfig) (Report, error) {
 	if len(p.sources) == 0 {
 		return Report{}, fmt.Errorf("streambox: pipeline has no sources")
 	}
+	for _, sd := range p.sources {
+		if sd.network {
+			return Report{}, fmt.Errorf("streambox: pipelines with a NetworkSource run via Serve, not Run")
+		}
+	}
 	if cfg.Duration <= 0 {
 		return Report{}, fmt.Errorf("streambox: run duration must be positive")
 	}
@@ -521,7 +584,7 @@ func Run(p *Pipeline, cfg RunConfig) (Report, error) {
 // runNative translates the declarative pipeline into a native plan and
 // executes it on the multicore runtime backend.
 func runNative(p *Pipeline, cfg RunConfig) (Report, error) {
-	plan, capture, err := nativePlan(p, cfg)
+	plan, capture, _, err := nativePlan(p, cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -554,21 +617,24 @@ func runNative(p *Pipeline, cfg RunConfig) (Report, error) {
 
 // nativePlan walks the pipeline graph and extracts the linear
 // filter* → Window → keyed-agg → capture/sink chain the native backend
-// executes, rejecting anything richer with a descriptive error.
-func nativePlan(p *Pipeline, cfg RunConfig) (runtime.Plan, *Captured, error) {
-	fail := func(format string, args ...interface{}) (runtime.Plan, *Captured, error) {
-		return runtime.Plan{}, nil, fmt.Errorf("streambox: native backend: "+format+" (run with Backend: Simulated)", args...)
+// executes, rejecting anything richer with a descriptive error. The
+// returned sink name labels results in the live-query store.
+func nativePlan(p *Pipeline, cfg RunConfig) (runtime.Plan, *Captured, string, error) {
+	fail := func(format string, args ...interface{}) (runtime.Plan, *Captured, string, error) {
+		return runtime.Plan{}, nil, "", fmt.Errorf("streambox: native backend: "+format+" (run with Backend: Simulated)", args...)
 	}
 	if len(p.sources) != 1 {
 		return fail("pipelines need exactly one source, have %d", len(p.sources))
 	}
 	src := p.sources[0]
 	plan := runtime.Plan{
-		Gen:          src.gen,
-		Source:       src.cfg,
-		Win:          p.win.w,
-		TotalRecords: int64(src.cfg.Rate * cfg.Duration),
-		TsCol:        -1,
+		Source: src.cfg,
+		Win:    p.win.w,
+		TsCol:  -1,
+	}
+	if !src.network {
+		plan.Gen = src.gen
+		plan.TotalRecords = int64(src.cfg.Rate * cfg.Duration)
 	}
 	var capture *Captured
 	seenAgg := false
@@ -605,7 +671,11 @@ func nativePlan(p *Pipeline, cfg RunConfig) (runtime.Plan, *Captured, error) {
 				return fail("operators after the sink are unsupported")
 			}
 			capture = st.cap
-			return plan, capture, nil
+			sink := st.label
+			if sink == "" {
+				sink = "capture"
+			}
+			return plan, capture, sink, nil
 		default:
 			return fail("operator %d is not in the native path", st.id)
 		}
@@ -619,4 +689,166 @@ func nativePlan(p *Pipeline, cfg RunConfig) (runtime.Plan, *Captured, error) {
 		}
 	}
 	return fail("pipelines must end in Capture or Sink")
+}
+
+// Server is a pipeline running as a long-lived network service: records
+// stream in over the netio wire protocol, windows close as client
+// watermarks advance, and live results and metrics are queryable over
+// HTTP while the run is in flight.
+type Server struct {
+	exec    *runtime.Execution
+	ingest  *netio.Server
+	store   *netio.ResultStore
+	capture *Captured
+	httpLn  net.Listener
+	httpSrv *http.Server
+}
+
+// Serve starts the pipeline as a network server on the native backend.
+// The pipeline must have exactly one NetworkSource, and cfg.Serve must
+// name an ingest address. Serve returns once the listeners are live;
+// Shutdown stops ingestion, drains, and returns the final report.
+func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
+	if cfg.Serve == nil || cfg.Serve.IngestAddr == "" {
+		return nil, fmt.Errorf("streambox: Serve needs RunConfig.Serve with an IngestAddr")
+	}
+	if len(p.sources) != 1 || !p.sources[0].network {
+		return nil, fmt.Errorf("streambox: Serve needs a pipeline with exactly one NetworkSource")
+	}
+	if p.sources[0].cfg.WatermarkEvery <= 0 {
+		p.sources[0].cfg.WatermarkEvery = 4
+	}
+	plan, capture, sink, err := nativePlan(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	feed := netio.NewFeed(netio.WireSchema(), cfg.Serve.FeedBuffer)
+	plan.Feed = feed
+
+	store := netio.NewResultStore(cfg.Serve.KeepWindows)
+	rcfg := runtime.Config{
+		Workers: cfg.Workers,
+		Machine: cfg.Machine,
+		Seed:    cfg.Seed,
+		Capture: capture != nil,
+		WindowSink: func(start, end wm.Time, rows []runtime.Row) {
+			out := make([]netio.ResultRow, len(rows))
+			for i, r := range rows {
+				out[i] = netio.ResultRow{Key: r.Key, Val: r.Val}
+			}
+			store.Publish(sink, start, end, out)
+		},
+	}
+	exec, err := runtime.Start(plan, rcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ingest, err := netio.Listen(cfg.Serve.IngestAddr, netio.ServerConfig{
+		Feed:          feed,
+		FrameCredits:  cfg.Serve.FrameCredits,
+		MaxFrameBytes: cfg.Serve.MaxFrameBytes,
+		Overloaded: func() bool {
+			return exec.DRAMUtilization() > runtime.BackpressureUtilization
+		},
+	})
+	if err != nil {
+		feed.Close()
+		exec.Wait()
+		return nil, err
+	}
+
+	// If the pipeline dies (e.g. fatal DRAM exhaustion), close the
+	// ingest listener so clients see the connection drop instead of
+	// hanging on withheld credits against a dead pipeline. Close is
+	// idempotent, so the normal Shutdown path is unaffected.
+	go func() {
+		<-exec.Done()
+		ingest.Close()
+	}()
+
+	s := &Server{exec: exec, ingest: ingest, store: store, capture: capture}
+	if cfg.Serve.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.Serve.HTTPAddr)
+		if err != nil {
+			s.ingest.Close()
+			s.exec.Wait()
+			return nil, err
+		}
+		s.httpLn = ln
+		s.httpSrv = &http.Server{Handler: netio.NewHandler(store, s.scrapeMetrics)}
+		go s.httpSrv.Serve(ln)
+	}
+	return s, nil
+}
+
+// scrapeMetrics gathers one /metrics view from the live execution and
+// the ingest server.
+func (s *Server) scrapeMetrics() netio.Metrics {
+	mem := s.exec.MemSnapshot()
+	depths := s.exec.QueueDepths()
+	m := netio.Metrics{
+		Allocs:           mem.Allocs,
+		Frees:            mem.Frees,
+		AllocFailures:    mem.Failures,
+		QueueDepths:      depths,
+		IngestedRecords:  s.exec.Ingested(),
+		WindowsClosed:    int64(s.exec.WindowsClosed()),
+		Ingest:           s.ingest.Counters(),
+		PerConn:          s.ingest.ConnCounters(),
+		WindowsPublished: s.store.Published(),
+	}
+	for t := 0; t < 2; t++ {
+		m.MemUsed[t] = mem.Tiers[t].Used
+		m.MemCapacity[t] = mem.Tiers[t].Capacity
+		m.MemUtilization[t] = mem.Tiers[t].Utilization
+	}
+	m.KLow, m.KHigh = s.exec.KnobState()
+	return m
+}
+
+// IngestAddr returns the ingest listener address (useful with ":0").
+func (s *Server) IngestAddr() string { return s.ingest.Addr().String() }
+
+// HTTPAddr returns the HTTP listener address, or "" when disabled.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Results returns the live result store (the same data GET /windows
+// serves).
+func (s *Server) Results() []netio.WindowResult { return s.store.Snapshot() }
+
+// Shutdown gracefully stops the server: the ingest listener closes,
+// open connections are severed, buffered batches drain through the
+// pipeline, every remaining window closes, and the final report —
+// including network ingest counters — is returned. Safe to call once.
+func (s *Server) Shutdown() (Report, error) {
+	s.ingest.Close()
+	rep, err := s.exec.Wait()
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	if s.capture != nil {
+		s.capture.Rows = s.capture.Rows[:0]
+		for _, r := range rep.Rows {
+			s.capture.Rows = append(s.capture.Rows, ops.CapturedRow{Key: r.Key, Val: r.Val, Win: r.Win})
+		}
+		s.capture.Records = int64(len(s.capture.Rows))
+	}
+	ctr := s.ingest.Counters()
+	out := Report{
+		Backend:         Native,
+		IngestedRecords: rep.IngestedRecords,
+		Throughput:      rep.Throughput,
+		WallSeconds:     rep.Elapsed.Seconds(),
+		EmittedRecords:  rep.EmittedRecords,
+		WindowsClosed:   rep.WindowsClosed,
+		DroppedRecords:  ctr.DroppedRecords,
+		DecodeErrors:    ctr.DecodeErrors,
+	}
+	return out, err
 }
