@@ -128,6 +128,33 @@ func BenchmarkNativeBackend(b *testing.B) {
 	}
 }
 
+// BenchmarkNativePipeline runs the native backend end to end and
+// reports the allocator-focused metrics alongside throughput: heap
+// allocations per ingested record and accumulated GC pause time. These
+// are the figures the mempool slab recycler drives down; run with
+// GOGC=off (see ci.yml) to isolate allocator wins from collector
+// scheduling. One iteration ingests 2M records.
+func BenchmarkNativePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+		p.Source(streambox.KV(streambox.KVConfig{Keys: 1 << 10, Seed: 1}),
+			streambox.DefaultSource(20e6)).
+			Window(2).
+			SumPerKey(0, 1).
+			Sink("out")
+		rep, err := streambox.Run(p, streambox.RunConfig{
+			Backend:  streambox.Native,
+			Duration: 0.1, // 2M records
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Throughput/1e6, "Mrec/s")
+		b.ReportMetric(rep.AllocsPerRecord, "allocs/rec")
+		b.ReportMetric(float64(rep.GCPauseNs)/1e6, "GCpause-ms")
+	}
+}
+
 // --- Real kernel benchmarks (wall clock, not simulated). -------------------
 
 func benchPairs(n int) []algo.Pair {

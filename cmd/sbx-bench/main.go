@@ -11,17 +11,26 @@ import (
 	goruntime "runtime"
 
 	streambox "streambox"
+	"streambox/internal/engine"
 	"streambox/internal/experiments"
+	"streambox/internal/ingress"
+	"streambox/internal/ops"
+	"streambox/internal/runtime"
+	"streambox/internal/wm"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|all, or native")
+	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|all, native, or alloc")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	records := flag.Float64("records", 10e6, "records per native measurement")
 	flag.Parse()
 
 	if *exp == "native" {
 		benchNative(*records, *quick)
+		return
+	}
+	if *exp == "alloc" {
+		benchAlloc(*records, *quick)
 		return
 	}
 
@@ -104,5 +113,55 @@ func benchNative(records float64, quick bool) {
 			os.Exit(1)
 		}
 		fmt.Printf("%-10d %12d %12.1f %10d\n", w, rep.IngestedRecords, rep.Throughput/1e6, rep.WindowsClosed)
+	}
+}
+
+// benchAlloc is the allocator ablation: the native pipeline with the
+// mempool's slab recycling on (pooled) versus off (every KPA and
+// kernel scratch buffer a fresh Go-heap make), across worker counts.
+// The table isolates what the recycling allocator buys — throughput,
+// allocations per record, GC pause time — in the style of the paper's
+// figure scripts.
+func benchAlloc(records float64, quick bool) {
+	if quick {
+		records /= 10
+	}
+	workerCounts := []int{1, 2, 4}
+	if n := goruntime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	fmt.Println("Allocator ablation: KV -> Window -> SumPerKey, pooled slabs vs make")
+	fmt.Printf("%-10s %-8s %10s %12s %12s %12s %14s\n",
+		"workers", "alloc", "Mrec/s", "allocs/rec", "B/rec", "GCpause-ms", "slabs-recycled")
+	for _, w := range workerCounts {
+		for _, pooled := range []bool{true, false} {
+			// Mirrors benchNative's workload exactly (the streambox
+			// DefaultSource shape) but builds the runtime.Plan directly:
+			// the recycling toggle is a runtime.Config knob, deliberately
+			// not public API.
+			plan := runtime.Plan{
+				Gen: ingress.NewKV(ingress.KVConfig{Keys: 1 << 10, Seed: 1}),
+				Source: engine.SourceConfig{
+					Name: "alloc", Rate: records, BundleRecords: 10_000,
+					WindowRecords: 1_000_000, WatermarkEvery: 100,
+				},
+				Win:          wm.Fixed(1_000_000),
+				TotalRecords: int64(records),
+				TsCol:        2, KeyCol: 0, ValCol: 1,
+				NewAgg: ops.Sum(), Label: "alloc",
+			}
+			rep, err := runtime.Run(plan, runtime.Config{Workers: w, NoRecycle: !pooled})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			mode := "pooled"
+			if !pooled {
+				mode = "make"
+			}
+			fmt.Printf("%-10d %-8s %10.1f %12.5f %12.1f %12.2f %14d\n",
+				w, mode, rep.Throughput/1e6, rep.AllocsPerRecord,
+				rep.AllocBytesPerRecord, float64(rep.GCPauseNs)/1e6, rep.SlabsRecycled)
+		}
 	}
 }

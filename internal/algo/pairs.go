@@ -1,7 +1,14 @@
 // Package algo implements the streaming algorithm library of the paper
-// (§4.2): sequential-access parallel merge-sort, merge and join kernels
-// over 16-byte key/pointer pairs, plus the open-addressing hash table
-// used as the DRAM-era baseline and as the external-join side table.
+// (§4.2): sequential-access grouping kernels over 16-byte key/pointer
+// pairs, plus the open-addressing hash table used as the DRAM-era
+// baseline and as the external-join side table.
+//
+// Grouping splits across two sort kernels, the paper's Table 2 split:
+// LSD radix sort (RadixSortPairs) forms first-level sorted runs with a
+// fixed number of streaming passes, and the comparison merge kernels
+// (SortPairs, ParallelSortPairs, MergeInto, MultiMerge) combine runs
+// level by level. Scratch buffers for both come from an *Scratch so a
+// recycling allocator (internal/mempool) can back the hot path.
 //
 // All kernels are real implementations operating on real data; the
 // engine charges their virtual cost through memsim demand profiles.

@@ -11,9 +11,15 @@ import (
 const blockPairs = 1 << 12
 
 // SortPairs sorts pairs in place by key (stable order of equal keys is
-// not guaranteed). It is the single-threaded kernel: blocked runs are
-// formed in cache and then merged, mirroring the paper's chunk sort.
-func SortPairs(pairs []Pair) {
+// not guaranteed). It is the single-threaded comparison kernel: blocked
+// runs are formed in cache and then merged, mirroring the paper's chunk
+// sort. The engine's hot path uses RadixSortPairs for first-level run
+// formation instead and keeps this merge structure for combining runs.
+func SortPairs(pairs []Pair) { SortPairsScratch(pairs, nil) }
+
+// SortPairsScratch is SortPairs with the merge ping-pong buffer drawn
+// from s instead of the Go heap.
+func SortPairsScratch(pairs []Pair, s *Scratch) {
 	n := len(pairs)
 	if n <= 1 {
 		return
@@ -30,7 +36,8 @@ func SortPairs(pairs []Pair) {
 		}
 		sortRun(pairs[lo:hi])
 	}
-	scratch := make([]Pair, n)
+	scratch := s.GetPairs(n)
+	defer s.PutPairs(scratch)
 	src, dst := pairs, scratch
 	for width := blockPairs; width < n; width *= 2 {
 		for lo := 0; lo < n; lo += 2 * width {
@@ -92,9 +99,15 @@ func mergeRuns(dst, a, b []Pair) {
 // parallel kernel benchmarks and the examples; inside the simulator the
 // engine instead expresses the same structure as separate tasks.
 func ParallelSortPairs(pairs []Pair, workers int) {
+	ParallelSortPairsScratch(pairs, workers, nil)
+}
+
+// ParallelSortPairsScratch is ParallelSortPairs with the merge
+// ping-pong buffer drawn from s instead of the Go heap.
+func ParallelSortPairsScratch(pairs []Pair, workers int, s *Scratch) {
 	n := len(pairs)
 	if workers <= 1 || n <= 2*blockPairs {
-		SortPairs(pairs)
+		SortPairsScratch(pairs, s)
 		return
 	}
 	chunks := workers
@@ -116,7 +129,8 @@ func ParallelSortPairs(pairs []Pair, workers int) {
 	wg.Wait()
 
 	// Pairwise parallel merges until one run remains.
-	scratch := make([]Pair, n)
+	scratch := s.GetPairs(n)
+	defer s.PutPairs(scratch)
 	src, dst := pairs, scratch
 	runs := bounds
 	for len(runs) > 2 {
@@ -168,20 +182,48 @@ func MergeInto(dst, a, b []Pair) {
 // ParallelSortPairs, so the whole k-way merge costs two buffers of the
 // total size instead of a fresh slice per pairwise merge per level.
 func MultiMerge(runs [][]Pair) []Pair {
-	switch len(runs) {
-	case 0:
-		return nil
-	case 1:
-		out := make([]Pair, len(runs[0]))
-		copy(out, runs[0])
-		return out
-	}
 	n := 0
 	for _, r := range runs {
 		n += len(r)
 	}
-	src := make([]Pair, n)
-	dst := make([]Pair, n)
+	if len(runs) == 0 {
+		return nil
+	}
+	out := make([]Pair, n)
+	MultiMergeInto(out, runs, nil)
+	return out
+}
+
+// MultiMergeInto merges k sorted runs into dst, whose length must equal
+// the total run length. The single ping-pong scratch buffer comes from
+// s, so with a pool-backed scratch the merge moves no memory through
+// the Go heap beyond the small run-bounds index.
+func MultiMergeInto(dst []Pair, runs [][]Pair, s *Scratch) {
+	n := 0
+	for _, r := range runs {
+		n += len(r)
+	}
+	if len(dst) != n {
+		panic("algo: MultiMergeInto destination has wrong length")
+	}
+	switch len(runs) {
+	case 0:
+		return
+	case 1:
+		copy(dst, runs[0])
+		return
+	}
+	levels := 0
+	for c := len(runs); c > 1; c = (c + 1) / 2 {
+		levels++
+	}
+	scratch := s.GetPairs(n)
+	defer s.PutPairs(scratch)
+	// Start in whichever buffer lands the final level's output in dst.
+	src, dst2 := dst, scratch
+	if levels%2 == 1 {
+		src, dst2 = scratch, dst
+	}
 	// bounds[i] is the start of run i in src; compacted in place as
 	// levels halve the run count (writes trail the reads).
 	bounds := make([]int, len(runs)+1)
@@ -195,18 +237,17 @@ func MultiMerge(runs [][]Pair) []Pair {
 		m := 1
 		for i := 0; i+2 < len(bounds); i += 2 {
 			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
-			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+			mergeRuns(dst2[lo:hi], src[lo:mid], src[mid:hi])
 			bounds[m] = hi
 			m++
 		}
 		if (len(bounds)-1)%2 == 1 { // odd run left over: copy through
 			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
-			copy(dst[lo:hi], src[lo:hi])
+			copy(dst2[lo:hi], src[lo:hi])
 			bounds[m] = hi
 			m++
 		}
 		bounds = bounds[:m]
-		src, dst = dst, src
+		src, dst2 = dst2, src
 	}
-	return src
 }

@@ -79,9 +79,11 @@ func runFig2Point(tier memsim.Tier, alg string, pairs, cores int) (float64, int6
 	return sim.Now(), st.BytesByTier[memsim.HBM] + st.BytesByTier[memsim.DRAM]
 }
 
-// scheduleParallelSort builds the paper's §4.2 sort task graph: N chunk
-// sorts, then log2(N) pairwise merge passes, each pass sliced across
-// all cores at key boundaries.
+// scheduleParallelSort builds the paper's §4.2 sort task graph: N
+// first-level runs formed with the radix kernel (Table 2's
+// bandwidth-proportional partition sort, algo.RadixSortPairs), then
+// log2(N) pairwise merge passes, each pass sliced across all cores at
+// key boundaries.
 func scheduleParallelSort(sim *memsim.Sim, tier memsim.Tier, pairs, cores int) {
 	chunk := pairs / cores
 	var runMergePass func(level, runs int)
@@ -109,8 +111,8 @@ func scheduleParallelSort(sim *memsim.Sim, tier memsim.Tier, pairs, cores int) {
 	pending = cores
 	for i := 0; i < cores; i++ {
 		sim.Submit(&memsim.Task{
-			Name:   "chunksort",
-			Demand: memsim.SortDemand(tier, chunk),
+			Name:   "radixsort",
+			Demand: memsim.RadixSortDemand(tier, chunk),
 			OnDone: done(0, cores),
 		})
 	}

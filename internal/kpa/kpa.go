@@ -7,6 +7,7 @@ package kpa
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"streambox/internal/algo"
 	"streambox/internal/bundle"
@@ -70,14 +71,17 @@ type KPA struct {
 	// references; each entry holds one reference count (paper §5.1).
 	sources   map[uint32]*bundle.Bundle
 	alloc     *mempool.Allocation
-	destroyed bool
+	destroyed atomic.Bool
 }
 
 // SyntheticKey marks a KPA whose resident keys were computed (e.g. an
 // external-join mapping) rather than copied from a record column.
 const SyntheticKey = -1
 
-// newKPA allocates backing storage for n pairs via al.
+// newKPA allocates backing storage for n pairs via al. When the
+// allocator hands back a mempool allocation, the pair array is the
+// allocation's (possibly recycled) slab; accounting-free allocators
+// (NoopAllocator) fall back to the Go heap.
 func newKPA(n int, resident int, al Allocator) (*KPA, error) {
 	bytes := int64(n) * memsim.PairBytes
 	if bytes == 0 {
@@ -87,11 +91,16 @@ func newKPA(n int, resident int, al Allocator) (*KPA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kpa: allocating %d pairs: %w", n, err)
 	}
+	var pairs []algo.Pair
+	if alloc != nil {
+		pairs = alloc.Pairs(n)[:0]
+	} else {
+		pairs = make([]algo.Pair, 0, n)
+	}
 	return &KPA{
-		pairs:    make([]algo.Pair, 0, n),
+		pairs:    pairs,
 		resident: resident,
 		tier:     tier,
-		sources:  make(map[uint32]*bundle.Bundle),
 		alloc:    alloc,
 	}, nil
 }
@@ -148,6 +157,9 @@ func (k *KPA) Deref(p Ptr) (*bundle.Bundle, int) {
 func (k *KPA) addSource(b *bundle.Bundle) {
 	id := uint32(b.ID())
 	if _, ok := k.sources[id]; !ok {
+		if k.sources == nil { // built lazily: most KPAs link one bundle
+			k.sources = make(map[uint32]*bundle.Bundle, 1)
+		}
 		b.Retain()
 		k.sources[id] = b
 	}
@@ -155,6 +167,12 @@ func (k *KPA) addSource(b *bundle.Bundle) {
 
 // inheritSources copies another KPA's bundle links, retaining each.
 func (k *KPA) inheritSources(from *KPA) {
+	if len(from.sources) == 0 {
+		return
+	}
+	if k.sources == nil {
+		k.sources = make(map[uint32]*bundle.Bundle, len(from.sources))
+	}
 	for id, b := range from.sources {
 		if _, ok := k.sources[id]; !ok {
 			b.Retain()
@@ -164,13 +182,16 @@ func (k *KPA) inheritSources(from *KPA) {
 }
 
 // Destroy releases the KPA: it drops every source-bundle reference
-// (possibly reclaiming bundles) and frees the slab allocation. A KPA
-// must be destroyed exactly once; double destroy panics.
+// (possibly reclaiming bundles) and frees the slab allocation, whose
+// pair array rejoins the pool's free list for reuse. A KPA must be
+// destroyed exactly once; double destroy panics — the check is an
+// atomic swap, so even racing destroyers (a merge-tree bug, not a
+// legal schedule) fail loudly instead of double-freeing a recycled
+// slab under a still-running reader.
 func (k *KPA) Destroy() {
-	if k.destroyed {
+	if k.destroyed.Swap(true) {
 		panic("kpa: double destroy")
 	}
-	k.destroyed = true
 	for _, b := range k.sources {
 		b.Release()
 	}
@@ -183,7 +204,7 @@ func (k *KPA) Destroy() {
 }
 
 // Destroyed reports whether Destroy has run.
-func (k *KPA) Destroyed() bool { return k.destroyed }
+func (k *KPA) Destroyed() bool { return k.destroyed.Load() }
 
 // String renders a short description.
 func (k *KPA) String() string {

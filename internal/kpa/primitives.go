@@ -168,9 +168,20 @@ func UpdateKeysWriteBack(k *KPA, fn func(key uint64) uint64) error {
 
 // --- Grouping primitives (sequential access). ------------------------------
 
-// Sort sorts the KPA by resident keys in place.
+// Sort sorts the KPA by resident keys in place with the comparison
+// merge-sort kernel.
 func Sort(k *KPA) {
 	algo.SortPairs(k.pairs)
+	k.sorted = true
+}
+
+// SortRadix sorts the KPA by resident keys in place with the LSD radix
+// kernel (algo.RadixSortPairs), drawing scatter scratch from s. The
+// native runtime uses it for first-level run formation — bundle-sized
+// KPAs right after extraction — and keeps the comparison merge kernels
+// for the tree above (paper Table 2's partition/merge split).
+func SortRadix(k *KPA, workers int, s *algo.Scratch) {
+	algo.RadixSortPairs(k.pairs, workers, s)
 	k.sorted = true
 }
 

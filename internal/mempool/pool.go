@@ -3,12 +3,22 @@
 // classes tuned to typical KPA, bundle and window sizes; the pool tracks
 // free capacity per tier, which feeds the runtime's resource monitor, and
 // keeps a small reserved HBM region for Urgent allocations.
+//
+// Beyond accounting, the pool is a real recycling allocator for the
+// engine's hottest object: the KPA pair array. Allocation.Pairs hands
+// out backing []algo.Pair storage for an allocation, and Free returns
+// that slab to a per-tier, per-size-class, lock-sharded free list, so
+// the steady-state grouping path (extract → sort → merge tree → reduce)
+// reuses the same slabs instead of pressuring the Go garbage collector.
+// The same free lists back transient kernel scratch via ScratchFor.
 package mempool
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"streambox/internal/algo"
 	"streambox/internal/memsim"
 )
 
@@ -22,6 +32,11 @@ var sizeClasses = func() []int64 {
 	}
 	return cs
 }()
+
+// slabShards is the number of free-list shards per (tier, class); shard
+// locks keep concurrent workers recycling slabs without contending on
+// one mutex.
+const slabShards = 4
 
 // ErrExhausted is returned when a tier cannot satisfy an allocation.
 type ErrExhausted struct {
@@ -39,9 +54,11 @@ type Allocation struct {
 	pool    *Pool
 	tier    memsim.Tier
 	size    int64 // rounded class size actually charged
+	class   int   // size-class index, -1 for jumbo allocations
 	urgent  bool
 	freed   bool
-	Request int64 // the size the caller asked for
+	pairs   []algo.Pair // backing slab, materialized by Pairs
+	Request int64       // the size the caller asked for
 }
 
 // Tier returns the tier the allocation lives on.
@@ -50,15 +67,39 @@ func (a *Allocation) Tier() memsim.Tier { return a.tier }
 // Size returns the charged (class-rounded) size in bytes.
 func (a *Allocation) Size() int64 { return a.size }
 
-// Free returns the allocation to its pool. Freeing twice panics: the
+// Pairs returns a view of n pairs over the allocation's backing slab,
+// materializing the slab on first call — recycled from the pool's free
+// list when one of the right class is available, freshly allocated
+// otherwise. The view's capacity is the full slab, so callers may
+// re-slice within the charged size. Recycled slabs hold stale contents:
+// callers must write every element before reading it (the engine's
+// primitives fill before they read). Pairs and Free are not safe for
+// concurrent use on one Allocation; the engine's single-owner KPA
+// discipline provides that exclusion.
+func (a *Allocation) Pairs(n int) []algo.Pair {
+	if a.freed {
+		panic("mempool: Pairs on freed allocation")
+	}
+	if int64(n)*memsim.PairBytes > a.size {
+		panic(fmt.Sprintf("mempool: Pairs(%d) exceeds %d-byte allocation", n, a.size))
+	}
+	if a.pairs == nil {
+		a.pairs = a.pool.takeSlab(a.tier, a.class, a.size)
+	}
+	return a.pairs[:n]
+}
+
+// Free returns the allocation to its pool — both the capacity
+// accounting and, when Pairs materialized a slab, the backing array,
+// which joins the tier's free list for reuse. Freeing twice panics: the
 // engine's reference counting must never double-free a bundle or KPA.
 func (a *Allocation) Free() {
 	if a == nil {
 		return
 	}
 	a.pool.mu.Lock()
-	defer a.pool.mu.Unlock()
 	if a.freed {
+		a.pool.mu.Unlock()
 		panic("mempool: double free")
 	}
 	a.freed = true
@@ -68,6 +109,11 @@ func (a *Allocation) Free() {
 		a.pool.used[a.tier] -= a.size
 	}
 	a.pool.frees++
+	a.pool.mu.Unlock()
+	if a.pairs != nil {
+		a.pool.putSlab(a.tier, a.class, a.pairs)
+		a.pairs = nil
+	}
 }
 
 // Stats summarises pool activity.
@@ -75,10 +121,20 @@ type Stats struct {
 	Allocs   int64
 	Frees    int64
 	Failures int64
+	// Recycled counts slab requests served from a free list instead of
+	// the Go heap.
+	Recycled int64
 	PeakUsed [2]int64
 }
 
-// Pool is a two-tier slab allocator with capacity accounting.
+// slabList is one shard of a (tier, class) free list.
+type slabList struct {
+	mu    sync.Mutex
+	slabs [][]algo.Pair
+}
+
+// Pool is a two-tier slab allocator with capacity accounting and
+// per-size-class slab recycling.
 type Pool struct {
 	mu           sync.Mutex
 	cap          [2]int64
@@ -89,6 +145,11 @@ type Pool struct {
 	allocs       int64
 	frees        int64
 	failures     int64
+
+	recycle  atomic.Bool
+	recycled atomic.Int64
+	shardRR  atomic.Uint32
+	free     [2][][slabShards]*slabList // [tier][class][shard]
 }
 
 // New creates a pool with tier capacities from cfg. reservedHBM bytes of
@@ -105,18 +166,115 @@ func New(cfg memsim.Config, reservedHBM int64) *Pool {
 	p := &Pool{reserved: reservedHBM}
 	p.cap[memsim.HBM] = hbm - reservedHBM
 	p.cap[memsim.DRAM] = cfg.Tier(memsim.DRAM).Capacity
+	for t := 0; t < 2; t++ {
+		p.free[t] = make([][slabShards]*slabList, len(sizeClasses))
+		for c := range p.free[t] {
+			for s := 0; s < slabShards; s++ {
+				p.free[t][c][s] = &slabList{}
+			}
+		}
+	}
+	p.recycle.Store(true)
 	return p
+}
+
+// SetRecycling toggles slab reuse; disabling it drops every cached slab
+// and makes Pairs/scratch requests hit the Go heap (the `-exp alloc`
+// baseline). Accounting is unaffected.
+func (p *Pool) SetRecycling(on bool) {
+	p.recycle.Store(on)
+	if !on {
+		for t := range p.free {
+			for c := range p.free[t] {
+				for s := range p.free[t][c] {
+					l := p.free[t][c][s]
+					l.mu.Lock()
+					l.slabs = nil
+					l.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// classIndex returns the index of the smallest class >= n, or -1 for
+// jumbo allocations beyond the largest class.
+func classIndex(n int64) int {
+	for i, c := range sizeClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
 }
 
 // roundUp returns the smallest size class >= n, or n itself for jumbo
 // allocations beyond the largest class.
 func roundUp(n int64) int64 {
-	for _, c := range sizeClasses {
-		if n <= c {
-			return c
-		}
+	if i := classIndex(n); i >= 0 {
+		return sizeClasses[i]
 	}
 	return n
+}
+
+// takeSlab returns a pair slab of sizeBytes capacity for (tier, class):
+// recycled when a class free-list shard has one, fresh otherwise. The
+// returned slice has full slab length.
+func (p *Pool) takeSlab(t memsim.Tier, class int, sizeBytes int64) []algo.Pair {
+	if class >= 0 && p.recycle.Load() {
+		start := p.shardRR.Add(1)
+		for i := uint32(0); i < slabShards; i++ {
+			l := p.free[t][class][(start+i)%slabShards]
+			l.mu.Lock()
+			if k := len(l.slabs); k > 0 {
+				slab := l.slabs[k-1]
+				l.slabs[k-1] = nil
+				l.slabs = l.slabs[:k-1]
+				l.mu.Unlock()
+				p.recycled.Add(1)
+				return slab
+			}
+			l.mu.Unlock()
+		}
+	}
+	return make([]algo.Pair, (sizeBytes+memsim.PairBytes-1)/memsim.PairBytes)
+}
+
+// putSlab returns a class-sized slab to its free list (jumbos and
+// foreign capacities go back to the garbage collector).
+func (p *Pool) putSlab(t memsim.Tier, class int, slab []algo.Pair) {
+	if class < 0 || !p.recycle.Load() {
+		return
+	}
+	if int64(cap(slab))*memsim.PairBytes != sizeClasses[class] {
+		return // not a slab this class owns
+	}
+	slab = slab[:cap(slab)]
+	l := p.free[t][class][p.shardRR.Add(1)%slabShards]
+	l.mu.Lock()
+	l.slabs = append(l.slabs, slab)
+	l.mu.Unlock()
+}
+
+// ScratchFor returns an algo.Scratch drawing transient kernel buffers
+// (sort scratch, merge ping-pong, radix scatter) from tier t's slab
+// free lists. Scratch buffers bypass capacity accounting: they reuse
+// slabs the accounting has already released, and charging them would
+// turn short-lived sort scratch into spurious backpressure.
+func (p *Pool) ScratchFor(t memsim.Tier) *algo.Scratch {
+	return &algo.Scratch{
+		Get: func(n int) []algo.Pair {
+			bytes := int64(n) * memsim.PairBytes
+			class := classIndex(bytes)
+			if class >= 0 {
+				bytes = sizeClasses[class]
+			}
+			return p.takeSlab(t, class, bytes)
+		},
+		Put: func(b []algo.Pair) {
+			p.putSlab(t, classIndex(int64(cap(b))*memsim.PairBytes), b)
+		},
+	}
 }
 
 // Alloc carves size bytes (class-rounded) from tier t.
@@ -136,7 +294,7 @@ func (p *Pool) Alloc(t memsim.Tier, size int64) (*Allocation, error) {
 		p.peak[t] = p.used[t]
 	}
 	p.allocs++
-	return &Allocation{pool: p, tier: t, size: n, Request: size}, nil
+	return &Allocation{pool: p, tier: t, size: n, class: classIndex(size), Request: size}, nil
 }
 
 // AllocUrgent carves from the reserved HBM region, falling back to the
@@ -151,7 +309,7 @@ func (p *Pool) AllocUrgent(size int64) (*Allocation, error) {
 		p.usedReserved += n
 		p.allocs++
 		p.mu.Unlock()
-		return &Allocation{pool: p, tier: memsim.HBM, size: n, urgent: true, Request: size}, nil
+		return &Allocation{pool: p, tier: memsim.HBM, size: n, class: classIndex(size), urgent: true, Request: size}, nil
 	}
 	p.mu.Unlock()
 	if a, err := p.Alloc(memsim.HBM, size); err == nil {
@@ -197,7 +355,13 @@ func (p *Pool) Utilization(t memsim.Tier) float64 {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Allocs: p.allocs, Frees: p.frees, Failures: p.failures, PeakUsed: p.peak}
+	return Stats{
+		Allocs:   p.allocs,
+		Frees:    p.frees,
+		Failures: p.failures,
+		Recycled: p.recycled.Load(),
+		PeakUsed: p.peak,
+	}
 }
 
 // TierSnapshot is one tier's live view for metrics exposition.
@@ -214,6 +378,7 @@ type Snapshot struct {
 	Reserved, UsedReserved int64
 	Allocs, Frees          int64
 	Failures               int64
+	Recycled               int64
 }
 
 // Snapshot returns a consistent view of capacities, usage and counters
@@ -238,6 +403,7 @@ func (p *Pool) Snapshot() Snapshot {
 	}
 	s.Reserved, s.UsedReserved = p.reserved, p.usedReserved
 	s.Allocs, s.Frees, s.Failures = p.allocs, p.frees, p.failures
+	s.Recycled = p.recycled.Load()
 	return s
 }
 

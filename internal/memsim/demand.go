@@ -173,6 +173,35 @@ func SortDemand(t Tier, n int) Demand {
 	return Demand{}.Vec(ops).Seq(t, bytes)
 }
 
+// Radix run formation (algo.RadixSortPairs): LSD over the 64-bit key
+// with 8-bit digits. Each pass streams the pairs once (read + scatter
+// write; the 256 scatter streams stay effectively sequential on HBM,
+// the observation driving radix partitioning in the HBM-analytics
+// literature) plus amortized histogram traffic, and the scatter/gather
+// kernel vectorizes (AVX-512 scatter on KNL). Unlike merge sort's
+// log2(n/block) passes, the pass count is fixed, which is what makes
+// run formation bandwidth-proportional.
+const (
+	radixEffectivePasses = 8
+	// Per pass and pair: stream read (16 B) + scatter write, which on a
+	// write-allocate cache costs allocate + writeback (32 B), + the
+	// histogram pre-pass share (16 B).
+	radixBytesPerPairPerPass = 64
+	radixCyclesPerPair       = 6.0
+)
+
+// RadixSortDemand models first-level run formation over n pairs on
+// tier t with the LSD radix kernel: a fixed number of streaming
+// scatter passes instead of merge sort's data-dependent pass count.
+func RadixSortDemand(t Tier, n int) Demand {
+	if n <= 0 {
+		return Demand{}
+	}
+	bytes := int64(n) * radixBytesPerPairPerPass * radixEffectivePasses
+	ops := int64(float64(n) * radixCyclesPerPair * radixEffectivePasses)
+	return Demand{}.Vec(ops).Seq(t, bytes)
+}
+
 // MergeDemand models merging two sorted runs totalling n pairs on tier t:
 // one streaming pass reading both inputs and writing the output.
 func MergeDemand(t Tier, n int) Demand {

@@ -35,6 +35,11 @@ type Feed struct {
 	mu      sync.Mutex
 	cursors map[int64]uint64
 	highTs  uint64 // max delivered timestamp ever (watermark once all conns retire)
+
+	// colPool recycles batch column buffers between the runtime (which
+	// returns them via Recycle once a bundle holds the data) and the
+	// connection handlers' frame decoders.
+	colPool sync.Pool
 }
 
 // NewFeed creates a feed buffering up to buffer batches (0 picks 64).
@@ -147,6 +152,27 @@ func (f *Feed) Recv(maxWait time.Duration) ([][]uint64, bool, bool) {
 		f.mu.Unlock()
 		return b.cols, true, false
 	}
+}
+
+// Recycle implements runtime.BatchRecycler: the runtime hands back a
+// batch's column buffers after copying them into a bundle, and the
+// decoders refill them for later frames instead of allocating anew.
+func (f *Feed) Recycle(cols [][]uint64) {
+	if len(cols) != f.schema.NumCols {
+		return
+	}
+	for i := range cols {
+		cols[i] = cols[i][:0]
+	}
+	f.colPool.Put(&cols)
+}
+
+// getCols returns an empty column-major batch, recycled when possible.
+func (f *Feed) getCols() [][]uint64 {
+	if v := f.colPool.Get(); v != nil {
+		return *v.(*[][]uint64)
+	}
+	return make([][]uint64, f.schema.NumCols)
 }
 
 // Watermark implements runtime.ExternalFeed: the minimum cursor over

@@ -317,7 +317,7 @@ func (s *Server) handle(conn net.Conn) {
 // survives.
 func (s *Server) decodeFrame(c *serverConn, payload []byte) ([][]uint64, uint64) {
 	schema := s.cfg.Feed.Schema()
-	cols := make([][]uint64, schema.NumCols)
+	cols := s.cfg.Feed.getCols() // recycled via Feed.Recycle
 	dec := parsefmt.NewStreamDecoder(c.format, bytes.NewReader(payload))
 	var maxTs uint64
 	n := 0
@@ -343,6 +343,7 @@ func (s *Server) decodeFrame(c *serverConn, payload []byte) ([][]uint64, uint64)
 		n++
 	}
 	if n == 0 {
+		s.cfg.Feed.Recycle(cols)
 		return nil, 0
 	}
 	return cols, maxTs

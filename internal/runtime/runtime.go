@@ -59,6 +59,14 @@ type ExternalFeed interface {
 	Watermark() wm.Time
 }
 
+// BatchRecycler is optionally implemented by an ExternalFeed: once the
+// runtime has copied a received batch into a bundle, it hands the
+// column buffers back through Recycle so the feed's decoder can refill
+// them instead of allocating fresh ones per frame.
+type BatchRecycler interface {
+	Recycle(cols [][]uint64)
+}
+
 // Plan is the native operator path: one source feeding
 // filter* → window → keyed aggregation → capture/sink. The streambox
 // package translates declarative pipelines into a Plan; pipelines
@@ -165,6 +173,11 @@ type Config struct {
 	// It is called from worker goroutines and must be safe for
 	// concurrent use.
 	WindowSink func(start, end wm.Time, rows []Row)
+	// NoRecycle disables the mempool's slab recycling, so every KPA and
+	// kernel scratch buffer is a fresh Go-heap allocation. Benchmarking
+	// aid (cmd/sbx-bench -exp alloc): isolates what the recycling
+	// allocator buys over the garbage collector.
+	NoRecycle bool
 }
 
 // Row is one keyed result: (key, aggregate, window start).
@@ -192,6 +205,19 @@ type Report struct {
 	KLow, KHigh float64
 	// PausedNanos is time ingest spent blocked on backpressure.
 	PausedNanos int64
+	// GCPauseNs is the Go garbage collector's stop-the-world pause time
+	// accumulated over the run, and AllocsPerRecord the heap
+	// allocations per ingested record — the figures the slab recycler
+	// exists to drive down.
+	GCPauseNs       int64
+	AllocsPerRecord float64
+	// AllocBytesPerRecord is the heap bytes allocated per ingested
+	// record — the figure slab recycling changes most, since a missed
+	// slab is one allocation but megabytes of garbage.
+	AllocBytesPerRecord float64
+	// SlabsRecycled counts pool allocations served from the slab free
+	// lists instead of the Go heap.
+	SlabsRecycled int64
 }
 
 // exec carries one run's state.
@@ -202,6 +228,9 @@ type exec struct {
 	pool  *mempool.Pool
 	reg   *bundle.Registry
 	knob  *engine.Knob
+	// scratch draws transient kernel buffers (radix scatter, merge
+	// ping-pong) from the pool's slab free lists, per tier.
+	scratch [2]*algo.Scratch
 
 	targetWM  atomic.Uint64
 	dramBytes atomic.Int64 // traffic since last monitor tick
@@ -330,11 +359,18 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 		windows:  make(map[wm.Time]*winEntry),
 		sinkRows: make(map[wm.Time][]Row),
 	}
+	if cfg.NoRecycle {
+		x.pool.SetRecycling(false)
+	}
+	x.scratch[memsim.HBM] = x.pool.ScratchFor(memsim.HBM)
+	x.scratch[memsim.DRAM] = x.pool.ScratchFor(memsim.DRAM)
 
 	stopMonitor := x.startMonitor(machine)
 	e := &Execution{x: x, done: make(chan struct{})}
 	go func() {
 		defer close(e.done)
+		var ms0 goruntime.MemStats
+		goruntime.ReadMemStats(&ms0)
 		start := time.Now()
 		if plan.Feed != nil {
 			x.ingestFeed()
@@ -348,6 +384,8 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 		elapsed := time.Since(start)
 		stopMonitor()
 		x.sched.Close()
+		var ms1 goruntime.MemStats
+		goruntime.ReadMemStats(&ms1)
 
 		ingested := x.ingested.Load()
 		rep := Report{
@@ -360,6 +398,12 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 			HBMKPAs:         x.hbmKPAs.Load(),
 			DRAMKPAs:        x.dramKPAs.Load(),
 			PausedNanos:     x.paused.Load(),
+			GCPauseNs:       int64(ms1.PauseTotalNs - ms0.PauseTotalNs),
+			SlabsRecycled:   x.pool.Stats().Recycled,
+		}
+		if ingested > 0 {
+			rep.AllocsPerRecord = float64(ms1.Mallocs-ms0.Mallocs) / float64(ingested)
+			rep.AllocBytesPerRecord = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(ingested)
 		}
 		rep.KLow, rep.KHigh = x.knob.Snapshot()
 		if sec := elapsed.Seconds(); sec > 0 {
@@ -453,6 +497,7 @@ func (x *exec) ingest() {
 func (x *exec) ingestFeed() {
 	feed := x.plan.Feed
 	schema := feed.Schema()
+	recycler, _ := feed.(BatchRecycler)
 	var bundleCnt int
 	for {
 		x.stallIngest()
@@ -491,6 +536,11 @@ func (x *exec) ingestFeed() {
 			if err == nil {
 				x.ingested.Add(int64(b.Rows()))
 				x.submitExtract(b, maxTs)
+				if recycler != nil {
+					// The bundle holds its own copy now; the column
+					// buffers go back to the feed's decoder.
+					recycler.Recycle(cols)
+				}
 				break
 			}
 			if _, exhausted := err.(*mempool.ErrExhausted); exhausted {
@@ -619,18 +669,90 @@ func (x *exec) submitExtract(b *bundle.Bundle, tsHi wm.Time) {
 	})
 }
 
-// extract is the native grouping front half: one pass over the bundle
-// applies the filters, partitions rows into windows, builds one KPA per
-// window (placed by the knob), sorts it with the parallel merge-sort
-// kernel, and files it as window state.
+// extract is the native grouping front half: it partitions the
+// bundle's surviving rows into windows, builds one KPA per window
+// (placed by the knob, pair storage drawn from the slab recycler),
+// sorts each with the LSD radix kernel — first-level run formation,
+// the paper's Table 2 split; the merge tree above stays
+// comparison-based — and files them as window state. For fixed windows
+// it runs as two counting/filling passes over pool-backed staging, so
+// the steady-state path allocates nothing per record.
 func (x *exec) extract(b *bundle.Bundle, wins []wm.Time) {
 	defer b.Release() // drop the producer reference; KPAs hold their own
+	if x.plan.Win.IsFixed() && len(wins) > 0 {
+		x.extractFixed(b, wins)
+	} else {
+		x.extractSliding(b, wins)
+	}
+	x.addDRAMTraffic(b.Bytes())
+}
+
+// extractFixed is the zero-alloc fast path: pass one counts surviving
+// rows per window, pass two scatters pairs into a pooled staging buffer
+// segmented by those counts, and each segment becomes one recycled-slab
+// KPA. Filters run twice; they are pure per-value predicates and far
+// cheaper than staging every row through the heap.
+func (x *exec) extractFixed(b *bundle.Bundle, wins []wm.Time) {
+	keys := b.Col(x.plan.KeyCol)
+	ts := b.Col(x.plan.TsCol)
+	id := uint32(b.ID())
+	slide := x.plan.Win.Size // fixed windows: starts step by the size
+	base := wins[0]
+
+	counts := make([]int, len(wins))
+	total := 0
+rows:
+	for i := 0; i < b.Rows(); i++ {
+		for _, f := range x.plan.Filters {
+			if !f.Keep(b.At(i, f.Col)) {
+				continue rows
+			}
+		}
+		counts[(x.plan.Win.WindowOf(ts[i])-base)/slide]++
+		total++
+	}
+
+	scratch := x.scratch[memsim.DRAM]
+	staging := scratch.GetPairs(total)
+	defer scratch.PutPairs(staging)
+	// cursor[w] walks window w's segment: [offset[w], offset[w+1]).
+	cursor := make([]int, len(wins))
+	off := 0
+	for w, c := range counts {
+		cursor[w] = off
+		off += c
+	}
+rows2:
+	for i := 0; i < b.Rows(); i++ {
+		for _, f := range x.plan.Filters {
+			if !f.Keep(b.At(i, f.Col)) {
+				continue rows2
+			}
+		}
+		w := (x.plan.Win.WindowOf(ts[i]) - base) / slide
+		staging[cursor[w]] = algo.Pair{Key: keys[i], Ptr: kpa.PackPtr(id, uint32(i))}
+		cursor[w]++
+	}
+
+	seg := 0
+	for wi, w := range wins {
+		var k *kpa.KPA
+		if counts[wi] > 0 {
+			k = x.buildRun(staging[seg:seg+counts[wi]], b, w)
+			seg += counts[wi]
+		}
+		x.extractDone(w, k)
+	}
+}
+
+// extractSliding handles overlapping windows (a row lands in several),
+// staging pairs per window before KPA construction.
+func (x *exec) extractSliding(b *bundle.Bundle, wins []wm.Time) {
 	keys := b.Col(x.plan.KeyCol)
 	ts := b.Col(x.plan.TsCol)
 	id := uint32(b.ID())
 
 	byWin := make(map[wm.Time][]algo.Pair, len(wins))
-	fixed := x.plan.Win.IsFixed()
 rows:
 	for i := 0; i < b.Rows(); i++ {
 		for _, f := range x.plan.Filters {
@@ -639,35 +761,33 @@ rows:
 			}
 		}
 		p := algo.Pair{Key: keys[i], Ptr: kpa.PackPtr(id, uint32(i))}
-		if fixed {
-			// Fixed windows: one window per record, no per-record
-			// allocation (WindowsOf builds a slice every call).
-			w := x.plan.Win.WindowOf(ts[i])
-			byWin[w] = append(byWin[w], p)
-			continue
-		}
 		for _, w := range x.plan.Win.WindowsOf(ts[i]) {
 			byWin[w] = append(byWin[w], p)
 		}
 	}
-	x.addDRAMTraffic(b.Bytes())
 
 	for _, w := range wins {
-		pairs := byWin[w]
 		var k *kpa.KPA
-		if len(pairs) > 0 {
-			tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), w)
-			var err error
-			k, err = kpa.FromPairs(pairs, x.plan.KeyCol, b, x.allocator(tag))
-			if err != nil {
-				x.recordError(err)
-			} else {
-				kpa.SortParallel(k, 2) // bundle-sized: at most a few chunks
-				x.noteKPA(k)
-			}
+		if pairs := byWin[w]; len(pairs) > 0 {
+			k = x.buildRun(pairs, b, w)
 		}
 		x.extractDone(w, k)
 	}
+}
+
+// buildRun turns one window's staged pairs into a sorted KPA: slab
+// storage from the knob-placed allocator, radix-sorted in place with
+// pooled scatter scratch. Returns nil after reporting an error.
+func (x *exec) buildRun(pairs []algo.Pair, b *bundle.Bundle, w wm.Time) *kpa.KPA {
+	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), w)
+	k, err := kpa.FromPairs(pairs, x.plan.KeyCol, b, x.allocator(tag))
+	if err != nil {
+		x.recordError(err)
+		return nil
+	}
+	kpa.SortRadix(k, 1, x.scratch[k.Tier()])
+	x.noteKPA(k)
+	return k
 }
 
 // extractDone files a sorted run (nil when the bundle contributed no

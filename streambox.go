@@ -210,6 +210,12 @@ type Report struct {
 	// WallSeconds is the real elapsed time of a native run (0 when
 	// simulated).
 	WallSeconds float64
+	// GCPauseNs is the Go garbage collector's stop-the-world pause time
+	// accumulated over a native run, and AllocsPerRecord its heap
+	// allocations per ingested record (both 0 when simulated). They
+	// quantify what the slab-recycling mempool takes off the hot path.
+	GCPauseNs       int64
+	AllocsPerRecord float64
 	// EmittedRecords counts result records at sinks.
 	EmittedRecords int64
 	// WindowsClosed and output delays (virtual seconds).
@@ -610,6 +616,8 @@ func runNative(p *Pipeline, cfg RunConfig) (Report, error) {
 		IngestedRecords: rep.IngestedRecords,
 		Throughput:      rep.Throughput,
 		WallSeconds:     rep.Elapsed.Seconds(),
+		GCPauseNs:       rep.GCPauseNs,
+		AllocsPerRecord: rep.AllocsPerRecord,
 		EmittedRecords:  rep.EmittedRecords,
 		WindowsClosed:   rep.WindowsClosed,
 	}, nil
@@ -845,6 +853,8 @@ func (s *Server) Shutdown() (Report, error) {
 		IngestedRecords: rep.IngestedRecords,
 		Throughput:      rep.Throughput,
 		WallSeconds:     rep.Elapsed.Seconds(),
+		GCPauseNs:       rep.GCPauseNs,
+		AllocsPerRecord: rep.AllocsPerRecord,
 		EmittedRecords:  rep.EmittedRecords,
 		WindowsClosed:   rep.WindowsClosed,
 		DroppedRecords:  ctr.DroppedRecords,
