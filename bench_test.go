@@ -11,8 +11,13 @@ import (
 
 	streambox "streambox"
 	"streambox/internal/algo"
+	"streambox/internal/engine"
 	"streambox/internal/experiments"
+	"streambox/internal/ingress"
+	"streambox/internal/ops"
 	"streambox/internal/parsefmt"
+	"streambox/internal/runtime"
+	"streambox/internal/wm"
 )
 
 // benchScale keeps the figure benchmarks to seconds of wall time.
@@ -152,6 +157,67 @@ func BenchmarkNativePipeline(b *testing.B) {
 		b.ReportMetric(rep.Throughput/1e6, "Mrec/s")
 		b.ReportMetric(rep.AllocsPerRecord, "allocs/rec")
 		b.ReportMetric(float64(rep.GCPauseNs)/1e6, "GCpause-ms")
+	}
+}
+
+// BenchmarkWindowClose runs the native pipeline with bundles sized so
+// every window closes over 16 sorted runs, once with the fused
+// range-partitioned merge-reduce (the default close) and once with the
+// pairwise merge tree + separate reduce baseline (Config.PairwiseClose).
+// The interesting deltas are B/rec (the per-level KPA materializations
+// the fused close deletes) and Mrec/s on multicore machines, where the
+// close path's one-pass structure frees bandwidth for ingest.
+func BenchmarkWindowClose(b *testing.B) {
+	const records = 2e6
+	for _, mode := range []struct {
+		name     string
+		pairwise bool
+	}{{"fused", false}, {"pairwise", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan := runtime.Plan{
+					Gen: ingress.NewKV(ingress.KVConfig{Keys: 1 << 10, Seed: 1}),
+					Source: engine.SourceConfig{
+						Name: "close", Rate: records, BundleRecords: 62_500,
+						WindowRecords: 1_000_000, WatermarkEvery: 16,
+					},
+					Win:          wm.Fixed(1_000_000),
+					TotalRecords: int64(records),
+					TsCol:        2, KeyCol: 0, ValCol: 1,
+					NewAgg: ops.Sum(), Label: "close",
+				}
+				rep, err := runtime.Run(plan, runtime.Config{PairwiseClose: mode.pairwise})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Throughput/1e6, "Mrec/s")
+				b.ReportMetric(rep.AllocBytesPerRecord, "B/rec")
+			}
+		})
+	}
+}
+
+// BenchmarkFigMerge regenerates the window-close microbenchmark on the
+// simulated KNL. Reports the fused-over-pairwise speedup at 64 cores
+// on HBM.
+func BenchmarkFigMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.FigMerge(experiments.FigMergeConfig{
+			Pairs: 8_000_000, Runs: 16, Cores: benchCores,
+		})
+		var fused, pairwise float64
+		for _, r := range rows {
+			if r.Cores == 64 && r.Config == "HBM Fused" {
+				fused = r.MPairsSec
+			}
+			if r.Cores == 64 && r.Config == "HBM Pairwise" {
+				pairwise = r.MPairsSec
+			}
+		}
+		b.ReportMetric(fused, "Mpairs/s")
+		if pairwise > 0 {
+			b.ReportMetric(fused/pairwise, "speedup")
+		}
 	}
 }
 

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|all, native, or alloc")
+	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|figmerge|all, native, alloc, or close")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	records := flag.Float64("records", 10e6, "records per native measurement")
 	flag.Parse()
@@ -31,6 +31,10 @@ func main() {
 	}
 	if *exp == "alloc" {
 		benchAlloc(*records, *quick)
+		return
+	}
+	if *exp == "close" {
+		benchClose(*records, *quick)
 		return
 	}
 
@@ -81,6 +85,14 @@ func main() {
 		experiments.RenderFig10(out, "Figure 10b: delaying watermark arrival", "bundles between WMs", b)
 	})
 	run("fig11", func() { experiments.RenderFig11(out, experiments.Fig11(ysbKNL)) })
+	run("figmerge", func() {
+		cfg := experiments.DefaultFigMerge()
+		if *quick {
+			cfg.Pairs = 8_000_000
+			cfg.Cores = cores
+		}
+		experiments.RenderFigMerge(out, experiments.FigMerge(cfg))
+	})
 }
 
 // benchNative sweeps the native backend's worker count on the
@@ -113,6 +125,51 @@ func benchNative(records float64, quick bool) {
 			os.Exit(1)
 		}
 		fmt.Printf("%-10d %12d %12.1f %10d\n", w, rep.IngestedRecords, rep.Throughput/1e6, rep.WindowsClosed)
+	}
+}
+
+// benchClose is the window-close ablation: the native pipeline with
+// the fused range-partitioned merge-reduce (default) versus the
+// pairwise merge tree + separate reduce (Config.PairwiseClose), across
+// worker counts, with bundles sized so every window accumulates 16
+// sorted runs. Isolates what the fused close buys end to end.
+func benchClose(records float64, quick bool) {
+	if quick {
+		records /= 10
+	}
+	workerCounts := []int{1, 2, 4}
+	if n := goruntime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	fmt.Println("Window close ablation: fused k-way merge-reduce vs pairwise tree, 16 runs/window")
+	fmt.Printf("%-10s %-10s %10s %12s %12s %12s\n",
+		"workers", "close", "Mrec/s", "allocs/rec", "B/rec", "GCpause-ms")
+	for _, w := range workerCounts {
+		for _, pairwise := range []bool{false, true} {
+			plan := runtime.Plan{
+				Gen: ingress.NewKV(ingress.KVConfig{Keys: 1 << 10, Seed: 1}),
+				Source: engine.SourceConfig{
+					Name: "close", Rate: records, BundleRecords: 62_500,
+					WindowRecords: 1_000_000, WatermarkEvery: 16,
+				},
+				Win:          wm.Fixed(1_000_000),
+				TotalRecords: int64(records),
+				TsCol:        2, KeyCol: 0, ValCol: 1,
+				NewAgg: ops.Sum(), Label: "close",
+			}
+			rep, err := runtime.Run(plan, runtime.Config{Workers: w, PairwiseClose: pairwise})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			mode := "fused"
+			if pairwise {
+				mode = "pairwise"
+			}
+			fmt.Printf("%-10d %-10s %10.1f %12.5f %12.1f %12.2f\n",
+				w, mode, rep.Throughput/1e6, rep.AllocsPerRecord,
+				rep.AllocBytesPerRecord, float64(rep.GCPauseNs)/1e6)
+		}
 	}
 }
 

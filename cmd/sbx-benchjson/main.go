@@ -1,10 +1,16 @@
 // Command sbx-benchjson converts `go test -bench` output on stdin into
 // a JSON array on stdout, one object per benchmark with its metrics
-// keyed by unit. CI runs it after the Fig2 smoke benchmark and archives
-// the result as BENCH_fig2.json, so the repository accumulates a
-// machine-readable perf trajectory across PRs.
+// keyed by unit (including -benchmem's B/op and allocs/op columns). CI
+// runs it after the Fig2 smoke benchmark (BENCH_fig2.json) and the
+// fused-vs-pairwise merge-reduce benchmark (BENCH_merge.json), so the
+// repository accumulates a machine-readable perf trajectory across PRs.
+//
+// Benchmark names are normalized by stripping the trailing -N
+// GOMAXPROCS suffix ("MergeReduce/fused-8" -> "MergeReduce/fused"), so
+// trajectories diff cleanly across runners with different core counts.
 //
 //	go test -run='^$' -bench=Fig2 -benchtime=1x . | sbx-benchjson > BENCH_fig2.json
+//	go test -run='^$' -bench=MergeReduce -benchmem -benchtime=1x ./internal/kpa | sbx-benchjson > BENCH_merge.json
 package main
 
 import (
@@ -21,6 +27,19 @@ type Result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// normalizeName strips the -N GOMAXPROCS suffix go test appends to the
+// final path element of a benchmark name, when present.
+func normalizeName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 || i < strings.LastIndex(name, "/") {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 func main() {
@@ -42,7 +61,7 @@ func main() {
 			continue
 		}
 		r := Result{
-			Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+			Name:       normalizeName(strings.TrimPrefix(fields[0], "Benchmark")),
 			Iterations: iters,
 			Metrics:    map[string]float64{},
 		}

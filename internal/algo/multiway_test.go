@@ -1,0 +1,181 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRuns builds n sorted runs of random lengths with keys drawn
+// from a domain small enough to force heavy duplication.
+func randomRuns(r *rand.Rand, n, maxLen int, keyDomain uint64) [][]Pair {
+	runs := make([][]Pair, n)
+	ptr := uint64(0)
+	for j := range runs {
+		run := make([]Pair, r.Intn(maxLen+1))
+		for i := range run {
+			run[i] = Pair{Key: r.Uint64() % keyDomain, Ptr: ptr}
+			ptr++
+		}
+		SortPairs(run)
+		runs[j] = run
+	}
+	return runs
+}
+
+// TestMultiMergeVisitOrder checks the visitor sequence is the full
+// sorted multiset of the inputs, with ties ordered by run index.
+func TestMultiMergeVisitOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, k := range []int{0, 1, 2, 3, 5, 16, 33} {
+		runs := randomRuns(r, k, 2000, 64)
+		total := 0
+		for _, run := range runs {
+			total += len(run)
+		}
+		var got []Pair
+		var gotRun []int
+		MultiMergeVisit(runs, func(run int, p Pair) {
+			got = append(got, p)
+			gotRun = append(gotRun, run)
+		})
+		if len(got) != total {
+			t.Fatalf("k=%d: visited %d pairs, want %d", k, len(got), total)
+		}
+		if !PairsSorted(got) {
+			t.Fatalf("k=%d: visit order not sorted by key", k)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Key == got[i-1].Key && gotRun[i] < gotRun[i-1] {
+				t.Fatalf("k=%d: tie at key %d visited run %d after run %d",
+					k, got[i].Key, gotRun[i-1], gotRun[i])
+			}
+		}
+		// The multiset must match: every input pair appears exactly once
+		// (pointers are unique across the runs by construction).
+		seen := make(map[uint64]bool, total)
+		for _, p := range got {
+			if seen[p.Ptr] {
+				t.Fatalf("k=%d: pair %d visited twice", k, p.Ptr)
+			}
+			seen[p.Ptr] = true
+		}
+	}
+}
+
+// TestMultiMergeVisitMatchesPairwise pins the visitor sequence
+// bit-for-bit against the levelwise pairwise merge (MultiMerge), the
+// order the old merge tree materialized.
+func TestMultiMergeVisitMatchesPairwise(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		runs := randomRuns(r, k, 500, 16)
+		want := MultiMerge(runs)
+		var got []Pair
+		MultiMergeVisit(runs, func(_ int, p Pair) { got = append(got, p) })
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d pairs, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: pair %d = %+v, pairwise merge has %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMultiWayCuts checks cut vectors are monotone, key-aligned and
+// roughly balanced across run counts and key skews.
+func TestMultiWayCuts(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 2, 3, 16, 33} {
+		for _, domain := range []uint64{2, 64, 1 << 40} {
+			runs := randomRuns(r, k, 3000, domain)
+			total := 0
+			for _, run := range runs {
+				total += len(run)
+			}
+			const p = 7
+			cuts := MultiWayCuts(runs, p)
+			if len(cuts) < 2 {
+				t.Fatalf("k=%d: %d cut vectors, want >= 2", k, len(cuts))
+			}
+			if len(cuts) > p+1 {
+				t.Fatalf("k=%d: %d cut vectors for %d partitions", k, len(cuts), p)
+			}
+			first, last := cuts[0], cuts[len(cuts)-1]
+			for j, run := range runs {
+				if first[j] != 0 || last[j] != len(run) {
+					t.Fatalf("k=%d run %d: boundary cursors [%d,%d], want [0,%d]",
+						k, j, first[j], last[j], len(run))
+				}
+			}
+			covered := 0
+			for i := 0; i+1 < len(cuts); i++ {
+				lo, hi := cuts[i], cuts[i+1]
+				width := 0
+				for j := range runs {
+					if hi[j] < lo[j] {
+						t.Fatalf("k=%d: cut %d run %d not monotone (%d > %d)", k, i, j, lo[j], hi[j])
+					}
+					width += hi[j] - lo[j]
+				}
+				if width == 0 && total > 0 {
+					t.Fatalf("k=%d: empty partition %d survived dedup", k, i)
+				}
+				covered += width
+				// Key alignment: the largest key of this partition must be
+				// strictly below the smallest key of the next.
+				if i+2 < len(cuts) {
+					var maxHere uint64
+					var minNext = ^uint64(0)
+					for j, run := range runs {
+						if hi[j] > lo[j] && run[hi[j]-1].Key > maxHere {
+							maxHere = run[hi[j]-1].Key
+						}
+						if hi[j] < cuts[i+2][j] && run[hi[j]].Key < minNext {
+							minNext = run[hi[j]].Key
+						}
+					}
+					if maxHere >= minNext {
+						t.Fatalf("k=%d domain=%d: key %d spans partition boundary %d", k, domain, maxHere, i)
+					}
+				}
+			}
+			if covered != total {
+				t.Fatalf("k=%d: partitions cover %d pairs, want %d", k, covered, total)
+			}
+			// Balance: with a wide key domain no partition should exceed
+			// ~2x the ideal share.
+			if domain > uint64(4*total) && total > 1000 {
+				ideal := total / p
+				for i := 0; i+1 < len(cuts); i++ {
+					width := 0
+					for j := range runs {
+						width += cuts[i+1][j] - cuts[i][j]
+					}
+					if width > 2*ideal+1 {
+						t.Fatalf("k=%d: partition %d holds %d of %d pairs (ideal %d)",
+							k, i, width, total, ideal)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiWayCutsDegenerate covers empty inputs and single-key skew.
+func TestMultiWayCutsDegenerate(t *testing.T) {
+	cuts := MultiWayCuts(nil, 4)
+	if len(cuts) != 2 {
+		t.Fatalf("no runs: %d cut vectors, want 2", len(cuts))
+	}
+	// All pairs share one key: alignment forces a single partition.
+	run := make([]Pair, 100)
+	for i := range run {
+		run[i] = Pair{Key: 7, Ptr: uint64(i)}
+	}
+	cuts = MultiWayCuts([][]Pair{run}, 8)
+	if len(cuts) != 2 {
+		t.Fatalf("single-key input split into %d partitions, want 1", len(cuts)-1)
+	}
+}

@@ -70,6 +70,58 @@ func TestFig2Shapes(t *testing.T) {
 	}
 }
 
+func figMergeAt(rows []FigMergeRow, config string, cores int) FigMergeRow {
+	for _, r := range rows {
+		if r.Config == config && r.Cores == cores {
+			return r
+		}
+	}
+	return FigMergeRow{}
+}
+
+// TestFigMergeShapes checks the window-close microbenchmark tracks the
+// native fused kernel: the fused one-pass close beats the pairwise
+// tree on both tiers, moves several times less memory per pair, and
+// HBM fused is the fastest configuration overall.
+func TestFigMergeShapes(t *testing.T) {
+	rows := FigMerge(FigMergeConfig{Pairs: 8_000_000, Runs: 16, Cores: []int{2, 16, 64}})
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, tier := range []string{"HBM", "DRAM"} {
+		for _, c := range []int{2, 16, 64} {
+			fused := figMergeAt(rows, tier+" Fused", c)
+			pair := figMergeAt(rows, tier+" Pairwise", c)
+			if fused.MPairsSec <= 1.3*pair.MPairsSec {
+				t.Errorf("%s at %d cores: fused %.1f Mpairs/s not >= 1.3x pairwise %.1f",
+					tier, c, fused.MPairsSec, pair.MPairsSec)
+			}
+			// Traffic per pair: pairwise pays log2(16) materializing
+			// levels plus the reduce re-read; fused streams once.
+			fusedBpp := fused.GBSec / fused.MPairsSec
+			pairBpp := pair.GBSec / pair.MPairsSec
+			if pairBpp < 3*fusedBpp {
+				t.Errorf("%s at %d cores: pairwise %.1f B/pair not >= 3x fused %.1f B/pair",
+					tier, c, pairBpp*1000, fusedBpp*1000)
+			}
+		}
+	}
+	best := figMergeAt(rows, "HBM Fused", 64)
+	for _, r := range rows {
+		if r.Cores == 64 && r.MPairsSec > best.MPairsSec {
+			t.Errorf("%s (%.1f) beats HBM Fused (%.1f) at 64 cores", r.Config, r.MPairsSec, best.MPairsSec)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigMerge(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("render produced nothing")
+	}
+	if cfg := DefaultFigMerge(); cfg.Runs != 16 || cfg.Pairs != 64_000_000 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}
+
 func TestFig2Defaults(t *testing.T) {
 	cfg := DefaultFig2()
 	if cfg.Pairs != 100_000_000 {

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streambox/internal/memsim"
+)
+
+// FigMergeRow is one point of the window-close microbenchmark: closing
+// a window of sorted runs with one strategy/tier at one core count.
+type FigMergeRow struct {
+	Config    string // "HBM Fused", "DRAM Fused", "HBM Pairwise", "DRAM Pairwise"
+	Cores     int
+	MPairsSec float64 // million pairs/second through the close
+	GBSec     float64 // memory traffic the close generates, GB/s
+}
+
+// FigMergeConfig sizes the window-close microbenchmark.
+type FigMergeConfig struct {
+	// Pairs is the window's total grouped state (across all runs).
+	Pairs int
+	// Runs is the number of first-level sorted runs the window holds.
+	Runs int
+	// Cores lists the x-axis points.
+	Cores []int
+}
+
+// DefaultFigMerge closes a 64 M-pair window of 16 runs on the paper's
+// core counts.
+func DefaultFigMerge() FigMergeConfig {
+	return FigMergeConfig{Pairs: 64_000_000, Runs: 16, Cores: PaperCores}
+}
+
+// FigMerge is the simulator-side counterpart of the native fused close
+// (paper §4.3, "Parallel Full KPA Merge"): closing one window of R
+// sorted runs with the fused range-partitioned k-way merge-reduce (one
+// streaming pass per core over its key range, kpa.MergeReduceRange)
+// versus the pairwise merge tree (ceil(log2(R)) materializing levels,
+// each sliced across all cores, then a separate keyed-reduce sweep).
+// The table tracks what the native kernel eliminates: per-level KPA
+// traffic and the second reduce pass.
+func FigMerge(cfg FigMergeConfig) []FigMergeRow {
+	if cfg.Pairs == 0 {
+		cfg = DefaultFigMerge()
+	}
+	var rows []FigMergeRow
+	for _, tier := range []memsim.Tier{memsim.HBM, memsim.DRAM} {
+		for _, strategy := range []string{"Fused", "Pairwise"} {
+			for _, cores := range cfg.Cores {
+				elapsed, bytes := runFigMergePoint(tier, strategy, cfg.Pairs, cfg.Runs, cores)
+				rows = append(rows, FigMergeRow{
+					Config:    fmt.Sprintf("%v %s", tier, strategy),
+					Cores:     cores,
+					MPairsSec: float64(cfg.Pairs) / elapsed / 1e6,
+					GBSec:     float64(bytes) / elapsed / 1e9,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// runFigMergePoint simulates one window close, returning virtual
+// elapsed time and total memory traffic.
+func runFigMergePoint(tier memsim.Tier, strategy string, pairs, runs, cores int) (float64, int64) {
+	machine := memsim.KNLConfig().WithCores(cores)
+	sim := memsim.NewSim(machine)
+	switch strategy {
+	case "Fused":
+		// One fused merge-reduce task per core over its key range; the
+		// cut search is negligible against the streaming pass.
+		per := pairs / cores
+		for i := 0; i < cores; i++ {
+			sim.Submit(&memsim.Task{
+				Name:   "merge-reduce",
+				Demand: memsim.MergeReduceDemand(tier, per, runs),
+			})
+		}
+	case "Pairwise":
+		// ceil(log2(runs)) merge levels, each streaming all pairs once
+		// (sliced across cores), then the separate reduce sweep.
+		levels := 0
+		for 1<<levels < runs {
+			levels++
+		}
+		per := pairs / cores
+		var schedule func(level int)
+		pending := 0
+		schedule = func(level int) {
+			pending = cores
+			done := func(float64) {
+				pending--
+				if pending == 0 && level+1 <= levels {
+					schedule(level + 1)
+				}
+			}
+			for i := 0; i < cores; i++ {
+				t := &memsim.Task{OnDone: done}
+				if level < levels {
+					t.Name = "merge"
+					t.Demand = memsim.MergeDemand(tier, per)
+				} else {
+					t.Name = "reduce"
+					t.Demand = memsim.ReduceKeyedDemand(tier, per)
+				}
+				sim.Submit(t)
+			}
+		}
+		schedule(0)
+	}
+	sim.Run()
+	st := sim.Stats()
+	return sim.Now(), st.BytesByTier[memsim.HBM] + st.BytesByTier[memsim.DRAM]
+}
+
+// RenderFigMerge prints the rows as a window-close table.
+func RenderFigMerge(out io.Writer, rows []FigMergeRow) {
+	header(out, "Window close: fused k-way merge-reduce vs pairwise tree (64M-pair window, 16 runs)",
+		"config", "cores", "Mpairs/s", "GB/s")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s\t%d\t%.1f\t%.1f\n", r.Config, r.Cores, r.MPairsSec, r.GBSec)
+	}
+}

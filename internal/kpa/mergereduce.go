@@ -1,0 +1,157 @@
+package kpa
+
+import (
+	"fmt"
+
+	"streambox/internal/algo"
+	"streambox/internal/bundle"
+)
+
+// Fused range-partitioned k-way merge-reduce (paper §4.3, "Parallel
+// Full KPA Merge"): a closing window's sorted runs are partitioned once
+// across the key space (MergeCuts), and each partition streams through
+// a loser-tree merge whose visitor folds the keyed aggregator inline
+// (MergeReduceRange), dereferencing bundle pointers as pairs arrive in
+// key order. Closing a window of R runs costs one sequential read of
+// the inputs — no per-level KPA materialization, no separate reduce
+// sweep. MergeK is the materializing fallback used to cap fan-in when a
+// window accumulates more runs than one loser tree should hold.
+
+// checkMergeInputs validates that runs are sorted and share a resident
+// column, returning that column.
+func checkMergeInputs(runs []*KPA) (int, error) {
+	if len(runs) == 0 {
+		return 0, fmt.Errorf("kpa: merge of zero runs")
+	}
+	resident := runs[0].resident
+	for _, r := range runs {
+		if !r.sorted {
+			return 0, fmt.Errorf("kpa: k-way merge requires sorted inputs")
+		}
+		if r.resident != resident {
+			return 0, fmt.Errorf("kpa: k-way merge of different resident columns (%d vs %d)", r.resident, resident)
+		}
+	}
+	return resident, nil
+}
+
+// MergeCuts partitions the k-way merge of the runs into up to p
+// key-aligned ranges of balanced total size: cut vector i holds one
+// cursor per run, and partition i covers pairs [cuts[i][j],
+// cuts[i+1][j]) of run j. No key group spans a boundary, so each
+// partition feeds an independent MergeReduceRange task.
+func MergeCuts(runs []*KPA, p int) ([][]int, error) {
+	if _, err := checkMergeInputs(runs); err != nil {
+		return nil, err
+	}
+	segs := make([][]algo.Pair, len(runs))
+	for j, r := range runs {
+		segs[j] = r.pairs
+	}
+	return algo.MultiWayCuts(segs, p), nil
+}
+
+// MergeReduceRange merges one key-range partition of the runs — pairs
+// [lo[j], hi[j]) of run j, as produced by MergeCuts — and folds the
+// keyed aggregation inline: the loser-tree visitor dereferences each
+// pair's bundle pointer, loads value column valCol, and feeds the
+// current key's aggregator, emitting one (key, aggregate) when the key
+// changes. The runs are only read; no intermediate KPA exists. Pairs
+// visit in the exact order the pairwise merge tree would produce
+// (ties by run index), so any aggregator — order-sensitive or not —
+// yields bit-identical results to merge-then-reduce.
+func MergeReduceRange(runs []*KPA, lo, hi []int, valCol int, factory AggFactory, emit func(key, result uint64)) error {
+	if _, err := checkMergeInputs(runs); err != nil {
+		return err
+	}
+	if len(lo) != len(runs) || len(hi) != len(runs) {
+		return fmt.Errorf("kpa: merge-reduce cut vectors cover %d/%d runs, want %d", len(lo), len(hi), len(runs))
+	}
+	segs := make([][]algo.Pair, len(runs))
+	for j, r := range runs {
+		if lo[j] < 0 || hi[j] > r.Len() || lo[j] > hi[j] {
+			return fmt.Errorf("kpa: merge-reduce range [%d,%d) out of bounds for run %d (len %d)", lo[j], hi[j], j, r.Len())
+		}
+		segs[j] = r.pairs[lo[j]:hi[j]]
+		// Hoist the value-column bounds check out of the per-pair loop:
+		// every source bundle's schema must hold valCol.
+		for _, b := range r.sources {
+			if valCol < 0 || valCol >= b.Schema().NumCols {
+				return fmt.Errorf("kpa: reduce value column %d out of range", valCol)
+			}
+		}
+	}
+
+	// Per-run single-entry deref cache: first-level runs reference one
+	// bundle, so the common case is an array hit instead of a map lookup
+	// per pair. Misses fall back to the owning run's source map.
+	cachedID := make([]uint32, len(runs))
+	cached := make([]*bundle.Bundle, len(runs))
+	for j, r := range runs {
+		if lo[j] < hi[j] {
+			p := r.pairs[lo[j]].Ptr
+			cached[j] = r.sources[PtrBundle(p)]
+			cachedID[j] = PtrBundle(p)
+		}
+	}
+
+	var (
+		cur     uint64
+		agg     Agg
+		started bool
+	)
+	algo.MultiMergeVisit(segs, func(run int, p algo.Pair) {
+		if !started || p.Key != cur {
+			if started {
+				emit(cur, agg.Result())
+			}
+			cur = p.Key
+			agg = factory()
+			started = true
+		}
+		id := PtrBundle(p.Ptr)
+		b := cached[run]
+		if b == nil || cachedID[run] != id {
+			b = runs[run].sources[id]
+			if b == nil {
+				panic(fmt.Sprintf("kpa: dangling pointer into bundle %d", id))
+			}
+			cached[run], cachedID[run] = b, id
+		}
+		agg.Add(b.At(int(PtrRow(p.Ptr)), valCol))
+	})
+	if started {
+		emit(cur, agg.Result())
+	}
+	return nil
+}
+
+// MergeK merges k sorted KPAs into one sorted KPA with a single
+// loser-tree pass — the fan-in-capping fallback of the fused close: a
+// window with more runs than one merge task should stream is first
+// compacted in batches of k, one materialization total instead of a
+// log2(R)-level tree. Inputs remain valid (destroy them separately).
+func MergeK(runs []*KPA, al Allocator) (*KPA, error) {
+	resident, err := checkMergeInputs(runs)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	segs := make([][]algo.Pair, len(runs))
+	for j, r := range runs {
+		total += r.Len()
+		segs[j] = r.pairs
+	}
+	out, err := newKPA(total, resident, al)
+	if err != nil {
+		return nil, err
+	}
+	algo.MultiMergeVisit(segs, func(_ int, p algo.Pair) {
+		out.pairs = append(out.pairs, p)
+	})
+	for _, r := range runs {
+		out.inheritSources(r)
+	}
+	out.sorted = true
+	return out, nil
+}

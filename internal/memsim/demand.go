@@ -213,6 +213,45 @@ func MergeDemand(t Tier, n int) Demand {
 	return Demand{}.Vec(ops).Seq(t, bytes)
 }
 
+// Fused window close (kpa.MergeReduceRange): the range-partitioned
+// k-way merge folds keyed reduction into the loser-tree visitor, so
+// closing a window costs one streaming read of the runs from the KPA
+// tier plus the random value-column gather from DRAM — no intermediate
+// KPA is written and no separate reduce pass re-streams the data. The
+// pairwise baseline instead pays ceil(log2(k)) MergeDemand passes (each
+// materializing a full copy) followed by ReduceKeyedDemand.
+const (
+	// mergeReduceCycles is the scalar per-pair cost of the fused
+	// visitor: the pointer dereference through the per-run bundle cache
+	// and the aggregator fold. It sits below reduceCycles because the
+	// fused pass hoists the per-record bounds checks, task setup and
+	// output staging that the separate reduce sweep pays per element.
+	mergeReduceCycles = 250
+	// loserTreeCyclesPerPairPerLevel is the vector-equivalent replay
+	// cost of one loser-tree level: one comparison plus a node store,
+	// touching tree nodes rather than run data.
+	loserTreeCyclesPerPairPerLevel = 4.0
+)
+
+// MergeReduceDemand models the fused merge-reduce over n pairs spread
+// across fanIn sorted runs on tier t: one sequential read of the pairs,
+// ceil(log2(fanIn)) loser-tree levels of compute per pair, the fold,
+// and the value gather from DRAM.
+func MergeReduceDemand(t Tier, n, fanIn int) Demand {
+	if n <= 0 {
+		return Demand{}
+	}
+	levels := 0
+	for 1<<levels < fanIn {
+		levels++
+	}
+	return Demand{}.
+		CPU(int64(n)*mergeReduceCycles).
+		Vec(int64(float64(n)*loserTreeCyclesPerPairPerLevel*float64(levels))).
+		Seq(t, int64(n)*PairBytes).
+		Rand(DRAM, int64(n)*8, 4)
+}
+
 // JoinDemand models the single-pass scan joining two sorted KPAs with a
 // total of n pairs, emitting m output records of recBytes each to DRAM.
 func JoinDemand(t Tier, n, m int, recBytes int64) Demand {

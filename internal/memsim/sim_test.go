@@ -129,6 +129,42 @@ func TestDemandBuilders(t *testing.T) {
 	}
 }
 
+func TestMergeReduceDemand(t *testing.T) {
+	n := 1 << 20
+	d := MergeReduceDemand(HBM, n, 16)
+	b := d.TotalBytes()
+	// One streaming read of the pairs from the KPA tier, one 8-byte
+	// value gather per pair from DRAM — and nothing else: the fused pass
+	// writes no intermediate KPA.
+	if b[HBM] != int64(n)*PairBytes {
+		t.Errorf("HBM bytes = %d, want %d (one streaming read)", b[HBM], int64(n)*PairBytes)
+	}
+	if b[DRAM] != int64(n)*8 {
+		t.Errorf("DRAM bytes = %d, want %d (value gather)", b[DRAM], int64(n)*8)
+	}
+	// The pairwise path for the same close: log2(16) = 4 merge levels
+	// plus a separate reduce sweep. The fused demand must move several
+	// times less memory.
+	pair := int64(0)
+	for i := 0; i < 4; i++ {
+		pb := MergeDemand(HBM, n).TotalBytes()
+		pair += pb[HBM] + pb[DRAM]
+	}
+	rb := ReduceKeyedDemand(HBM, n).TotalBytes()
+	pair += rb[HBM] + rb[DRAM]
+	fused := b[HBM] + b[DRAM]
+	if pair < 4*fused {
+		t.Errorf("pairwise traffic %d not >= 4x fused %d", pair, fused)
+	}
+	// Fan-in 1 needs no tree levels; deeper trees cost more compute.
+	if MergeReduceDemand(HBM, n, 1).TotalCPUOps() >= MergeReduceDemand(HBM, n, 32).TotalCPUOps() {
+		t.Error("loser-tree compute must grow with fan-in")
+	}
+	if !MergeReduceDemand(HBM, 0, 16).Empty() {
+		t.Error("zero pairs must produce an empty demand")
+	}
+}
+
 func TestPhaseString(t *testing.T) {
 	p := Phase{CPUOps: 5}
 	if p.String() != "cpu(5 ops)" {

@@ -3,13 +3,21 @@
 // the discrete-event simulator (internal/engine + internal/memsim)
 // rather than replacing it. The structure mirrors the paper's runtime
 // (§3, §5): ingest builds DRAM record bundles, extraction creates Key
-// Pointer Arrays, grouping runs the sequential-access parallel
-// merge-sort, windows close through a pairwise merge tree, and keyed
-// reduction dereferences pointers back into the bundles — all scheduled
-// on a work-stealing worker pool whose queues honor the Urgent/High/Low
-// performance-impact tags, with KPA placement drawn from the
-// demand-balance knob and ingestion backpressure driven by mempool
-// utilization.
+// Pointer Arrays, radix run formation sorts one KPA per bundle per
+// window, and windows close through the paper's §4.3 parallel full-KPA
+// merge: the key space is range-partitioned once across all of a
+// window's sorted runs and each partition streams through a loser-tree
+// k-way merge fused with keyed reduction, dereferencing pointers back
+// into the DRAM bundles as pairs arrive — one sequential read of the
+// inputs, no intermediate KPA materialization, no separate reduce
+// sweep. Windows that accumulate more runs than the fan-in cap first
+// compact them in k-way batches (a single materialization, not a
+// log2(R) pairwise tree); the old pairwise merge tree plus separate
+// reduce survives as a benchmarking baseline behind
+// Config.PairwiseClose. Everything is scheduled on a work-stealing
+// worker pool whose queues honor the Urgent/High/Low performance-impact
+// tags, with KPA placement drawn from the demand-balance knob and
+// ingestion backpressure driven by mempool utilization.
 package runtime
 
 import (
@@ -178,6 +186,13 @@ type Config struct {
 	// aid (cmd/sbx-bench -exp alloc): isolates what the recycling
 	// allocator buys over the garbage collector.
 	NoRecycle bool
+	// PairwiseClose closes windows with the old pairwise merge tree
+	// followed by a separate range-parallel reduce pass instead of the
+	// fused range-partitioned k-way merge-reduce. Benchmarking baseline
+	// (cmd/sbx-bench -exp close): results are identical; the pairwise
+	// path materializes a full KPA per merge level and re-streams the
+	// merged KPA to reduce it.
+	PairwiseClose bool
 }
 
 // Row is one keyed result: (key, aggregate, window start).
@@ -687,11 +702,37 @@ func (x *exec) extract(b *bundle.Bundle, wins []wm.Time) {
 	x.addDRAMTraffic(b.Bytes())
 }
 
+// intSlab is a pooled []int scratch buffer for the per-bundle
+// counts/cursor arrays of the extraction passes. Pooling the wrapper
+// struct (not the slice) keeps the steady-state path free of the two
+// heap allocations the counting/scatter passes would otherwise pay per
+// bundle.
+type intSlab struct{ buf []int }
+
+var intSlabs = sync.Pool{New: func() any { return new(intSlab) }}
+
+// getIntSlab returns a zeroed []int scratch of length n inside its
+// pooled wrapper; return it with putIntSlab.
+func getIntSlab(n int) *intSlab {
+	s := intSlabs.Get().(*intSlab)
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+	}
+	s.buf = s.buf[:n]
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+	return s
+}
+
+func putIntSlab(s *intSlab) { intSlabs.Put(s) }
+
 // extractFixed is the zero-alloc fast path: pass one counts surviving
 // rows per window, pass two scatters pairs into a pooled staging buffer
 // segmented by those counts, and each segment becomes one recycled-slab
 // KPA. Filters run twice; they are pure per-value predicates and far
-// cheaper than staging every row through the heap.
+// cheaper than staging every row through the heap. The counts/cursor
+// scratch comes from a pooled int slab for the same reason.
 func (x *exec) extractFixed(b *bundle.Bundle, wins []wm.Time) {
 	keys := b.Col(x.plan.KeyCol)
 	ts := b.Col(x.plan.TsCol)
@@ -699,7 +740,9 @@ func (x *exec) extractFixed(b *bundle.Bundle, wins []wm.Time) {
 	slide := x.plan.Win.Size // fixed windows: starts step by the size
 	base := wins[0]
 
-	counts := make([]int, len(wins))
+	ints := getIntSlab(2 * len(wins))
+	defer putIntSlab(ints)
+	counts, cursor := ints.buf[:len(wins)], ints.buf[len(wins):]
 	total := 0
 rows:
 	for i := 0; i < b.Rows(); i++ {
@@ -716,7 +759,6 @@ rows:
 	staging := scratch.GetPairs(total)
 	defer scratch.PutPairs(staging)
 	// cursor[w] walks window w's segment: [offset[w], offset[w+1]).
-	cursor := make([]int, len(wins))
 	off := 0
 	for w, c := range counts {
 		cursor[w] = off
@@ -745,14 +787,31 @@ rows2:
 	}
 }
 
-// extractSliding handles overlapping windows (a row lands in several),
-// staging pairs per window before KPA construction.
+// extractSliding handles overlapping windows with the same
+// counting/scatter structure as extractFixed: a row lands in at most
+// ceil(Size/Slide) windows, all enumerable in place, so pass one counts
+// each window's share, pass two scatters pairs into per-window segments
+// of one pooled staging buffer, and each segment becomes one
+// recycled-slab KPA — no per-row append, no per-window map, nothing on
+// the heap in steady state.
 func (x *exec) extractSliding(b *bundle.Bundle, wins []wm.Time) {
+	if len(wins) == 0 {
+		return
+	}
 	keys := b.Col(x.plan.KeyCol)
 	ts := b.Col(x.plan.TsCol)
 	id := uint32(b.ID())
+	size := x.plan.Win.Size
+	slide := x.plan.Win.Slide
+	if slide == 0 {
+		slide = size
+	}
+	base := wins[0]
 
-	byWin := make(map[wm.Time][]algo.Pair, len(wins))
+	ints := getIntSlab(2 * len(wins))
+	defer putIntSlab(ints)
+	counts, cursor := ints.buf[:len(wins)], ints.buf[len(wins):]
+	total := 0
 rows:
 	for i := 0; i < b.Rows(); i++ {
 		for _, f := range x.plan.Filters {
@@ -760,16 +819,52 @@ rows:
 				continue rows
 			}
 		}
-		p := algo.Pair{Key: keys[i], Ptr: kpa.PackPtr(id, uint32(i))}
-		for _, w := range x.plan.Win.WindowsOf(ts[i]) {
-			byWin[w] = append(byWin[w], p)
+		// Enumerate the windows containing ts[i] without allocating:
+		// starts descend by slide from WindowOf(ts) while they still
+		// cover the timestamp. Every such start is >= base (a window
+		// covering ts also covers the bundle minimum or starts after
+		// it), so the index into wins is in range.
+		for w := x.plan.Win.WindowOf(ts[i]); w+size > ts[i]; w -= slide {
+			counts[(w-base)/slide]++
+			total++
+			if w < slide {
+				break // window 0 reached; unsigned underflow guard
+			}
 		}
 	}
 
-	for _, w := range wins {
+	scratch := x.scratch[memsim.DRAM]
+	staging := scratch.GetPairs(total)
+	defer scratch.PutPairs(staging)
+	off := 0
+	for w, c := range counts {
+		cursor[w] = off
+		off += c
+	}
+rows2:
+	for i := 0; i < b.Rows(); i++ {
+		for _, f := range x.plan.Filters {
+			if !f.Keep(b.At(i, f.Col)) {
+				continue rows2
+			}
+		}
+		p := algo.Pair{Key: keys[i], Ptr: kpa.PackPtr(id, uint32(i))}
+		for w := x.plan.Win.WindowOf(ts[i]); w+size > ts[i]; w -= slide {
+			wi := (w - base) / slide
+			staging[cursor[wi]] = p
+			cursor[wi]++
+			if w < slide {
+				break
+			}
+		}
+	}
+
+	seg := 0
+	for wi, w := range wins {
 		var k *kpa.KPA
-		if pairs := byWin[w]; len(pairs) > 0 {
-			k = x.buildRun(pairs, b, w)
+		if counts[wi] > 0 {
+			k = x.buildRun(staging[seg:seg+counts[wi]], b, w)
+			seg += counts[wi]
 		}
 		x.extractDone(w, k)
 	}
@@ -837,19 +932,161 @@ func (x *exec) watermark(w wm.Time) {
 	}
 }
 
-// submitClose schedules the first merge level for a closing window.
+// mergeFanIn caps how many runs one loser-tree merge task streams.
+// Below the cap a window closes in a single fused merge-reduce pass;
+// above it, runs are first compacted in k-way batches of this size —
+// one materialization total, where the pairwise tree paid log2(R)
+// materializing levels.
+const mergeFanIn = 32
+
+// minClosePartitionPairs is the smallest merge-reduce partition worth
+// its own task; tiny windows close on one core instead of paying
+// per-task overhead for a few hundred pairs each.
+const minClosePartitionPairs = 8 << 10
+
+// submitClose takes ownership of a closing window's sorted runs and
+// starts the close.
 func (x *exec) submitClose(start wm.Time) {
 	x.wmu.Lock()
 	e := x.windows[start]
 	runs := e.runs
 	e.runs = nil
 	x.wmu.Unlock()
-	x.mergeLevel(start, runs)
+	x.closeWindow(start, runs)
+}
+
+// closeWindow dispatches one close step: the fused range-partitioned
+// merge-reduce when the runs fit one loser tree, a k-way compaction
+// level when they don't, and the pairwise-tree baseline when the config
+// asks for it.
+func (x *exec) closeWindow(start wm.Time, runs []*kpa.KPA) {
+	switch {
+	case len(runs) == 0:
+		x.finishWindow(start)
+	case x.cfg.PairwiseClose:
+		x.mergeLevel(start, runs)
+	case len(runs) > mergeFanIn:
+		x.mergeFanInLevel(start, runs)
+	default:
+		x.submitMergeReduce(start, runs)
+	}
+}
+
+// mergeFanInLevel compacts an over-wide run set in batches of
+// mergeFanIn: one k-way materializing merge task per batch, then back
+// to closeWindow with at most ceil(R/mergeFanIn) runs — a single
+// materialization for any realistic run count, against the pairwise
+// tree's log2(R) full copies.
+func (x *exec) mergeFanInLevel(start wm.Time, runs []*kpa.KPA) {
+	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), start)
+	nBatches := (len(runs) + mergeFanIn - 1) / mergeFanIn
+	next := make([]*kpa.KPA, nBatches)
+	// A lone trailing run passes through. Its slot must be filled before
+	// any merge task is submitted: the last task to finish reads all of
+	// next, and may do so before this goroutine's loop reaches the
+	// trailing batch.
+	tasks := nBatches
+	if len(runs)%mergeFanIn == 1 {
+		next[nBatches-1] = runs[len(runs)-1]
+		tasks--
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(tasks))
+	for i := 0; i < tasks; i++ {
+		batch := runs[i*mergeFanIn:]
+		if len(batch) > mergeFanIn {
+			batch = batch[:mergeFanIn]
+		}
+		batch, slot := batch, i
+		x.sched.Submit(&Task{
+			Name: "merge:" + x.plan.Label,
+			Tag:  tag,
+			Run: func() {
+				merged, err := kpa.MergeK(batch, x.allocator(tag))
+				for _, r := range batch {
+					r.Destroy()
+				}
+				if err != nil {
+					x.recordError(err)
+				} else {
+					x.noteKPA(merged)
+					x.addDRAMTraffic(merged.Bytes())
+					next[slot] = merged
+				}
+				if remaining.Add(-1) == 0 {
+					x.closeWindow(start, compactRuns(next))
+				}
+			},
+		})
+	}
+}
+
+// submitMergeReduce closes a window in one streaming pass: the key
+// space is partitioned across the runs with balanced key-aligned cuts,
+// and each partition runs a fused loser-tree merge + keyed reduction
+// task that dereferences bundle pointers as pairs arrive — no merged
+// KPA is ever materialized. The last partition to finish destroys the
+// runs and retires the window.
+func (x *exec) submitMergeReduce(start wm.Time, runs []*kpa.KPA) {
+	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), start)
+	total := 0
+	for _, r := range runs {
+		total += r.Len()
+	}
+	p := x.sched.Workers()
+	if byWidth := (total + minClosePartitionPairs - 1) / minClosePartitionPairs; byWidth < p {
+		p = byWidth
+	}
+	cuts, err := kpa.MergeCuts(runs, p)
+	if err != nil || len(cuts) < 2 {
+		if err != nil {
+			x.recordError(err)
+		}
+		for _, r := range runs {
+			r.Destroy()
+		}
+		x.finishWindow(start)
+		return
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(len(cuts) - 1))
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		x.sched.Submit(&Task{
+			Name: "close:" + x.plan.Label,
+			Tag:  tag,
+			Run: func() {
+				var out []Row
+				width := int64(0)
+				for j := range lo {
+					width += int64(hi[j] - lo[j])
+				}
+				err := kpa.MergeReduceRange(runs, lo, hi, x.plan.ValCol, x.plan.NewAgg, func(key, res uint64) {
+					out = append(out, Row{Key: key, Val: res, Win: start})
+				})
+				if err != nil {
+					x.recordError(err)
+				}
+				x.emitRows(start, out)
+				// One streaming read of the pairs plus the value gather;
+				// nothing is written back.
+				x.addDRAMTraffic(width * (memsim.PairBytes + 8))
+				if remaining.Add(-1) == 0 {
+					for _, r := range runs {
+						r.Destroy()
+					}
+					x.finishWindow(start)
+				}
+			},
+		})
+	}
 }
 
 // mergeLevel pairwise-merges the window's sorted runs as parallel tasks
-// (the paper's merge tree); the countdown continuation of each level
-// schedules the next, and a single surviving run proceeds to reduction.
+// (the merge tree this backend shipped with, kept as the
+// Config.PairwiseClose benchmarking baseline); the countdown
+// continuation of each level schedules the next, and a single surviving
+// run proceeds to the separate reduction pass.
 func (x *exec) mergeLevel(start wm.Time, runs []*kpa.KPA) {
 	if len(runs) == 0 {
 		x.finishWindow(start)
@@ -1062,23 +1299,30 @@ func (x *exec) recordError(err error) {
 	x.emu.Unlock()
 }
 
-// windowsInRange lists every window start overlapping [lo, hi].
+// windowsInRange lists every window start overlapping [lo, hi],
+// ascending. Window starts are the multiples s of the slide with
+// s <= hi and s+Size > lo, computed in closed form rather than by
+// stepping from the windows of lo — stepping is only sound when lo's
+// own window set is non-empty and ends at WindowOf(lo), which the
+// closed form does not need to assume.
 func windowsInRange(w wm.Windowing, lo, hi wm.Time) []wm.Time {
-	first := w.WindowsOf(lo)
-	var out []wm.Time
-	if len(first) > 0 {
-		out = append(out, first...)
-	}
 	slide := w.Slide
 	if slide == 0 {
 		slide = w.Size
 	}
-	var next wm.Time
-	if len(out) > 0 {
-		next = out[len(out)-1] + slide
+	// First overlapping start: the smallest multiple of slide whose
+	// window [s, s+Size) reaches past lo.
+	var first wm.Time
+	if lo >= w.Size {
+		first = (lo-w.Size)/slide*slide + slide
 	}
-	for ; next <= hi; next += slide {
-		out = append(out, next)
+	last := hi / slide * slide
+	if last < first {
+		return nil
+	}
+	out := make([]wm.Time, 0, (last-first)/slide+1)
+	for s := first; s <= last; s += slide {
+		out = append(out, s)
 	}
 	return out
 }

@@ -287,7 +287,8 @@ func TestNativeKnobPlacement(t *testing.T) {
 }
 
 // TestNativeMergeTree forces many runs per window (tiny bundles) so
-// closing a window exercises multi-level pairwise merging.
+// closing a window exercises the fused range-partitioned merge-reduce
+// over a full loser tree (16 runs).
 func TestNativeMergeTree(t *testing.T) {
 	plan := testPlan(ingress.NewRoundRobinKV(4, 1), 12_000)
 	plan.Source.BundleRecords = 250 // 16 runs per window
@@ -302,6 +303,108 @@ func TestNativeMergeTree(t *testing.T) {
 	for _, r := range rep.Rows {
 		if r.Val != 1000 {
 			t.Fatalf("window %d key %d: sum %d, want 1000", r.Win, r.Key, r.Val)
+		}
+	}
+}
+
+// TestNativeFanInClose pushes a window past the fan-in cap (40 runs >
+// mergeFanIn) so closing exercises the k-way compaction level before
+// the fused merge-reduce.
+func TestNativeFanInClose(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(4, 1), 12_000)
+	plan.Source.BundleRecords = 100 // 40 runs per window
+	plan.Source.WatermarkEvery = 40
+	rep, err := Run(plan, Config{Workers: 4, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowsClosed != 3 {
+		t.Fatalf("closed %d windows, want 3", rep.WindowsClosed)
+	}
+	if rep.EmittedRecords != 12 {
+		t.Fatalf("emitted %d rows, want 12 (3 windows x 4 keys)", rep.EmittedRecords)
+	}
+	for _, r := range rep.Rows {
+		if r.Val != 1000 {
+			t.Fatalf("window %d key %d: sum %d, want 1000", r.Win, r.Key, r.Val)
+		}
+	}
+}
+
+// TestNativeFanInCloseLoneTrailingRun covers R % mergeFanIn == 1 (33
+// runs): the lone trailing run passes through the compaction level
+// without a task, and its slot must be filled before any merge task can
+// finish — a drop here loses one bundle's worth of every window's
+// aggregates.
+func TestNativeFanInCloseLoneTrailingRun(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(4, 1), 9_900)
+	plan.Source.WindowRecords = 3_300 // 33 bundles of 100 per window
+	plan.Source.BundleRecords = 100
+	plan.Source.WatermarkEvery = 33
+	rep, err := Run(plan, Config{Workers: 4, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowsClosed != 3 {
+		t.Fatalf("closed %d windows, want 3", rep.WindowsClosed)
+	}
+	var total uint64
+	for _, r := range rep.Rows {
+		total += r.Val
+	}
+	if want := uint64(9_900); total != want {
+		t.Fatalf("summed %d across windows, want %d — the trailing run was dropped", total, want)
+	}
+}
+
+// rowsByWindowKey indexes captured rows for comparison.
+func rowsByWindowKey(rows []Row) map[wm.Time]map[uint64]uint64 {
+	out := make(map[wm.Time]map[uint64]uint64)
+	for _, r := range rows {
+		m := out[r.Win]
+		if m == nil {
+			m = make(map[uint64]uint64)
+			out[r.Win] = m
+		}
+		m[r.Key] = r.Val
+	}
+	return out
+}
+
+// TestFusedMatchesPairwiseClose runs the same plan through the fused
+// close and the Config.PairwiseClose baseline (merge tree + separate
+// reduce) on fixed and sliding windows and requires identical windows,
+// keys and aggregates.
+func TestFusedMatchesPairwiseClose(t *testing.T) {
+	for _, win := range []wm.Windowing{wm.Fixed(1_000_000), wm.Sliding(1_000_000, 250_000)} {
+		plan := testPlan(ingress.NewRoundRobinKV(8, 1), 24_000)
+		plan.Win = win
+		plan.Source.BundleRecords = 250
+		plan.Source.WatermarkEvery = 16
+		fused, err := Run(plan, Config{Workers: 4, Capture: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairwise, err := Run(plan, Config{Workers: 4, Capture: true, PairwiseClose: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, p := rowsByWindowKey(fused.Rows), rowsByWindowKey(pairwise.Rows)
+		if len(f) == 0 || len(f) != len(p) {
+			t.Fatalf("slide=%d: fused closed %d windows, pairwise %d", win.Slide, len(f), len(p))
+		}
+		for w, fk := range f {
+			pk, ok := p[w]
+			if !ok || len(fk) != len(pk) {
+				t.Fatalf("slide=%d window %d: fused %d keys, pairwise %d (present=%v)",
+					win.Slide, w, len(fk), len(pk), ok)
+			}
+			for k, v := range fk {
+				if pk[k] != v {
+					t.Fatalf("slide=%d window %d key %d: fused %d, pairwise %d",
+						win.Slide, w, k, v, pk[k])
+				}
+			}
 		}
 	}
 }
@@ -359,6 +462,85 @@ func TestWindowsInRange(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("sliding: got %v, want %v", got, want)
 		}
+	}
+}
+
+// TestWindowsInRangeMidSlide is the regression for the stepping
+// implementation windowsInRange replaced: a bundle whose minimum
+// timestamp sits mid-slide (not on a window-start boundary) must still
+// register every window start in (lo, hi], including ones that begin
+// after lo.
+func TestWindowsInRangeMidSlide(t *testing.T) {
+	w := wm.Sliding(1_000_000, 250_000)
+	// min-ts 375_000 sits mid-slide between starts 250k and 500k.
+	got := windowsInRange(w, 375_000, 1_100_000)
+	want := []wm.Time{0, 250_000, 500_000, 750_000, 1_000_000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWindowsInRangeProperty cross-checks windowsInRange against direct
+// enumeration — every window start s (a multiple of the slide) with
+// s <= hi and s+Size > lo, and nothing else — across window shapes and
+// offsets, including slides that do not divide the size.
+func TestWindowsInRangeProperty(t *testing.T) {
+	for _, shape := range []wm.Windowing{
+		wm.Fixed(100), wm.Sliding(100, 50), wm.Sliding(100, 30),
+		wm.Sliding(96, 7), wm.Sliding(10, 1),
+	} {
+		slide := shape.Slide
+		if slide == 0 {
+			slide = shape.Size
+		}
+		for lo := wm.Time(0); lo < 400; lo += 3 {
+			for hi := lo; hi < lo+250; hi += 17 {
+				got := windowsInRange(shape, lo, hi)
+				var want []wm.Time
+				for s := wm.Time(0); s <= hi; s += slide {
+					if s+shape.Size > lo {
+						want = append(want, s)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%+v lo=%d hi=%d: got %v, want %v", shape, lo, hi, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%+v lo=%d hi=%d: got %v, want %v", shape, lo, hi, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNativeSlidingMidSlideBundle drives the sliding scatter path with
+// a stream whose first bundle starts mid-slide (no record at ts 0) and
+// checks no records are dropped: the total across all windows must be
+// records x slide-multiplicity.
+func TestNativeSlidingMidSlideBundle(t *testing.T) {
+	plan := testPlan(ingress.NewRoundRobinKV(4, 1), 16_000)
+	plan.Win = wm.Sliding(1_000_000, 250_000)
+	rep, err := Run(plan, Config{Workers: 2, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, r := range rep.Rows {
+		total += r.Val
+	}
+	// 16k records of value 1, each landing in Size/Slide = 4 windows —
+	// except the first Size of stream time, where windows clamp at start
+	// 0: the 1000 records per slide there land in 1, 2 and 3 windows.
+	want := uint64(16_000*4 - 1000*(3+2+1))
+	if total != want {
+		t.Fatalf("sliding windows summed %d, want %d — records were dropped or duplicated", total, want)
 	}
 }
 
