@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|figmerge|all, native, alloc, or close")
+	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|figmerge|figpanes|all, native, alloc, close, or panes")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	records := flag.Float64("records", 10e6, "records per native measurement")
 	flag.Parse()
@@ -35,6 +35,10 @@ func main() {
 	}
 	if *exp == "close" {
 		benchClose(*records, *quick)
+		return
+	}
+	if *exp == "panes" {
+		benchPanes(*records, *quick)
 		return
 	}
 
@@ -93,6 +97,62 @@ func main() {
 		}
 		experiments.RenderFigMerge(out, experiments.FigMerge(cfg))
 	})
+	run("figpanes", func() {
+		cfg := experiments.DefaultFigPanes()
+		if *quick {
+			cfg.Records = 8_000_000
+		}
+		experiments.RenderFigPanes(out, experiments.FigPanes(cfg))
+	})
+}
+
+// benchPanes is the sliding-window ablation: the native pipeline with
+// pane-based shared aggregation (default) versus the duplicate-scatter
+// baseline (Config.DirectSliding), swept across Size/Slide overlap
+// factors. Mrec/s is end-to-end wall-clock throughput; extract-Mpairs/s
+// is logical (record, window) assignments per second of extraction
+// worker time; B/rec is peak live window-state bytes per record of one
+// window. Isolates what sharing sorted pane runs buys.
+func benchPanes(records float64, quick bool) {
+	if quick {
+		records /= 10
+	}
+	const windowRecords = 1_000_000
+	size := wm.Time(1_000_000)
+	fmt.Println("Sliding-window ablation: pane-based shared runs vs direct duplicate scatter")
+	fmt.Printf("%-8s %-8s %10s %18s %12s %10s %12s\n",
+		"overlap", "mode", "Mrec/s", "extract-Mpairs/s", "state-B/rec", "paneruns", "sharedrefs")
+	for _, overlap := range []int{1, 2, 4, 8} {
+		for _, direct := range []bool{false, true} {
+			plan := runtime.Plan{
+				Gen: ingress.NewKV(ingress.KVConfig{Keys: 1 << 10, Seed: 1}),
+				Source: engine.SourceConfig{
+					Name: "panes", Rate: records, BundleRecords: 10_000,
+					WindowRecords: windowRecords, WatermarkEvery: 25,
+				},
+				Win:          wm.Sliding(size, size/wm.Time(overlap)),
+				TotalRecords: int64(records),
+				TsCol:        2, KeyCol: 0, ValCol: 1,
+				NewAgg: ops.Sum(), Label: "panes",
+			}
+			rep, err := runtime.Run(plan, runtime.Config{DirectSliding: direct})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			mode := "pane"
+			if direct {
+				mode = "direct"
+			}
+			extract := 0.0
+			if rep.ExtractNanos > 0 {
+				extract = float64(rep.ExtractedPairs) / float64(rep.ExtractNanos) * 1e3
+			}
+			fmt.Printf("%-8d %-8s %10.1f %18.1f %12.1f %10d %12d\n",
+				overlap, mode, rep.Throughput/1e6, extract,
+				float64(rep.PeakWindowStateTotalBytes)/windowRecords, rep.PaneRuns, rep.SharedRunRefs)
+		}
+	}
 }
 
 // benchNative sweeps the native backend's worker count on the

@@ -17,6 +17,12 @@ type Input struct {
 	K        *kpa.KPA
 	WinStart wm.Time
 	HasWin   bool
+	// PaneShare, when > 1, marks a sliding-window KPA whose grouping
+	// state is pane-shared across that many overlapping windows:
+	// downstream operators charge a 1/PaneShare slice of their usual
+	// key-swap/sort demand, mirroring the native backend's refcounted
+	// shared pane runs. 0 or 1 means exclusive.
+	PaneShare int
 }
 
 // IsKPA reports whether the input carries a KPA.

@@ -288,3 +288,31 @@ func TestWorkloadsBuild(t *testing.T) {
 		}
 	}
 }
+
+// TestFigPanesShape pins the pane-sharing curve: with shared panes the
+// grouping front half is insensitive to the overlap factor, while the
+// direct path degrades ~linearly — by 8 windows of overlap the gap is
+// most of the overlap factor.
+func TestFigPanesShape(t *testing.T) {
+	rows := FigPanes(FigPanesConfig{Records: 8_000_000, Overlaps: []int{1, 8}, Cores: 64})
+	get := func(config string, overlap int) float64 {
+		for _, r := range rows {
+			if r.Config == config && r.Overlap == overlap {
+				return r.MRecSec
+			}
+		}
+		t.Fatalf("missing row %s overlap=%d", config, overlap)
+		return 0
+	}
+	pane1, direct1 := get("HBM Pane", 1), get("HBM Direct", 1)
+	if pane1 < 0.9*direct1 || pane1 > 1.1*direct1 {
+		t.Fatalf("overlap 1 must cost the same either way: pane %.1f vs direct %.1f", pane1, direct1)
+	}
+	pane8, direct8 := get("HBM Pane", 8), get("HBM Direct", 8)
+	if pane8 < 4*direct8 {
+		t.Fatalf("overlap 8: pane %.1f Mrec/s not >= 4x direct %.1f", pane8, direct8)
+	}
+	if pane8 < 0.8*pane1 {
+		t.Fatalf("pane path must stay ~flat across overlap: %.1f at 1, %.1f at 8", pane1, pane8)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streambox/internal/memsim"
+)
+
+// FigPanesRow is one point of the sliding-window grouping-front-half
+// microbenchmark: pushing one window of records through extraction +
+// radix run formation with pane-based sharing versus per-window
+// duplication, at one overlap factor on one tier.
+type FigPanesRow struct {
+	Config  string // "HBM Pane", "HBM Direct", "DRAM Pane", "DRAM Direct"
+	Overlap int    // Size/Slide
+	MRecSec float64
+	GBSec   float64
+}
+
+// FigPanesConfig sizes the pane-sharing microbenchmark.
+type FigPanesConfig struct {
+	// Records per window of event time.
+	Records int
+	// Overlaps lists the Size/Slide x-axis points.
+	Overlaps []int
+	// Cores is the simulated core count.
+	Cores int
+}
+
+// DefaultFigPanes sweeps a 64 M-record window across the paper-scale
+// overlap factors on 64 cores.
+func DefaultFigPanes() FigPanesConfig {
+	return FigPanesConfig{Records: 64_000_000, Overlaps: []int{1, 2, 4, 8, 16}, Cores: 64}
+}
+
+// FigPanes is the simulator-side counterpart of the native pane path:
+// grouping one window's records with shared panes (each record
+// scattered into exactly one pane and radix-sorted once, the sorted
+// run referenced by every covering window — memsim.PaneDemand) versus
+// the direct path (each record staged and sorted once per overlapping
+// window). The direct curve falls off ~linearly with the overlap; the
+// pane curve stays flat, which is exactly the state and bandwidth
+// headroom that keeps sliding workloads away from DRAM exhaustion.
+func FigPanes(cfg FigPanesConfig) []FigPanesRow {
+	if cfg.Records == 0 {
+		cfg = DefaultFigPanes()
+	}
+	var rows []FigPanesRow
+	for _, tier := range []memsim.Tier{memsim.HBM, memsim.DRAM} {
+		for _, strategy := range []string{"Pane", "Direct"} {
+			for _, overlap := range cfg.Overlaps {
+				elapsed, bytes := runFigPanesPoint(tier, strategy, cfg.Records, overlap, cfg.Cores)
+				rows = append(rows, FigPanesRow{
+					Config:  fmt.Sprintf("%v %s", tier, strategy),
+					Overlap: overlap,
+					MRecSec: float64(cfg.Records) / elapsed / 1e6,
+					GBSec:   float64(bytes) / elapsed / 1e9,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// runFigPanesPoint simulates the grouping front half of one window's
+// records, returning virtual elapsed time and memory traffic. Each
+// record belongs to `overlap` windows, so the direct path forms runs
+// over records×overlap pairs; the pane path forms them over each
+// record's single pane and charges every window its 1/overlap share.
+func runFigPanesPoint(tier memsim.Tier, strategy string, records, overlap, cores int) (float64, int64) {
+	machine := memsim.KNLConfig().WithCores(cores)
+	sim := memsim.NewSim(machine)
+	perCore := records * overlap / cores
+	for i := 0; i < cores; i++ {
+		d := memsim.RadixSortDemand(tier, perCore)
+		if strategy == "Pane" {
+			d = memsim.PaneDemand(tier, perCore, overlap)
+		}
+		sim.Submit(&memsim.Task{Name: "run-formation", Demand: d})
+	}
+	sim.Run()
+	st := sim.Stats()
+	return sim.Now(), st.BytesByTier[memsim.HBM] + st.BytesByTier[memsim.DRAM]
+}
+
+// RenderFigPanes prints the rows as an overlap-sweep table.
+func RenderFigPanes(out io.Writer, rows []FigPanesRow) {
+	header(out, "Sliding grouping: pane-based shared runs vs per-window duplication (one window of records)",
+		"config", "overlap", "Mrec/s", "GB/s")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s\t%d\t%.1f\t%.1f\n", r.Config, r.Overlap, r.MRecSec, r.GBSec)
+	}
+}

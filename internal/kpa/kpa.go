@@ -3,6 +3,14 @@
 // (resident key, record pointer) pairs; keys replicate one column of the
 // full records, pointers reference rows of record bundles in DRAM. The
 // package provides the ten streaming primitives of paper Table 2.
+//
+// Ownership: a KPA is reference counted. Most KPAs live their whole
+// life with the single reference they are born with — create, use,
+// Destroy. Sorted pane runs under the native runtime's pane-based
+// sliding aggregation are the exception: one run is referenced by every
+// sliding window covering its pane (Retain per extra window), each
+// window's close releases one reference, and the slab returns to the
+// mempool exactly once, when the last covering window closes.
 package kpa
 
 import (
@@ -61,17 +69,26 @@ func (n NoopAllocator) AllocKPA(int64) (memsim.Tier, *mempool.Allocation, error)
 	return n.T, nil, nil
 }
 
-// KPA is a key pointer array: intermediate grouping state.
+// KPA is a key pointer array: intermediate grouping state. A KPA is
+// itself reference counted: it is born with one reference, Retain adds
+// more, and Destroy releases one — the storage frees when the last
+// reference drops. Single-owner KPAs never call Retain and keep the
+// original create/destroy discipline; the native runtime's pane-based
+// sliding aggregation retains one reference per window sharing a
+// sorted pane run, so the run is freed exactly once, when its last
+// covering window closes.
 type KPA struct {
 	pairs    []algo.Pair
 	resident int // column index the keys replicate; -1 for synthetic keys
 	tier     memsim.Tier
 	sorted   bool
+	meta     algo.RunMeta
 	// sources maps bundle ID -> bundle for every bundle any pointer
 	// references; each entry holds one reference count (paper §5.1).
-	sources   map[uint32]*bundle.Bundle
-	alloc     *mempool.Allocation
-	destroyed atomic.Bool
+	sources map[uint32]*bundle.Bundle
+	alloc   *mempool.Allocation
+	// refs is the KPA's own reference count; <= 0 means destroyed.
+	refs atomic.Int32
 }
 
 // SyntheticKey marks a KPA whose resident keys were computed (e.g. an
@@ -97,12 +114,14 @@ func newKPA(n int, resident int, al Allocator) (*KPA, error) {
 	} else {
 		pairs = make([]algo.Pair, 0, n)
 	}
-	return &KPA{
+	k := &KPA{
 		pairs:    pairs,
 		resident: resident,
 		tier:     tier,
 		alloc:    alloc,
-	}, nil
+	}
+	k.refs.Store(1)
+	return k, nil
 }
 
 // Len returns the number of pairs.
@@ -181,15 +200,46 @@ func (k *KPA) inheritSources(from *KPA) {
 	}
 }
 
-// Destroy releases the KPA: it drops every source-bundle reference
-// (possibly reclaiming bundles) and frees the slab allocation, whose
-// pair array rejoins the pool's free list for reuse. A KPA must be
-// destroyed exactly once; double destroy panics — the check is an
-// atomic swap, so even racing destroyers (a merge-tree bug, not a
-// legal schedule) fail loudly instead of double-freeing a recycled
-// slab under a still-running reader.
-func (k *KPA) Destroy() {
-	if k.destroyed.Swap(true) {
+// Meta returns the run's provenance metadata (zero until SetMeta).
+func (k *KPA) Meta() algo.RunMeta { return k.meta }
+
+// SetMeta records the run's provenance, used to order a window's runs
+// deterministically at close.
+func (k *KPA) SetMeta(m algo.RunMeta) { k.meta = m }
+
+// Retain adds n references to the KPA: Destroy must then be called n
+// more times before the storage frees. The pane path retains one
+// reference per additional window sharing a sorted pane run. Retaining
+// a destroyed KPA panics — a reference can only be minted by an owner
+// who already holds one.
+func (k *KPA) Retain(n int) {
+	if n <= 0 {
+		return
+	}
+	if k.refs.Add(int32(n)) <= int32(n) {
+		panic("kpa: retain of destroyed KPA")
+	}
+}
+
+// Refs returns the current reference count (tests/metrics).
+func (k *KPA) Refs() int { return int(k.refs.Load()) }
+
+// Destroy releases one reference to the KPA; the last release drops
+// every source-bundle reference (possibly reclaiming bundles) and frees
+// the slab allocation, whose pair array rejoins the pool's free list
+// for reuse. It returns true when this call freed the storage. Each
+// reference must be destroyed exactly once; releasing more references
+// than were ever held panics — the count is atomic, so even racing
+// destroyers (a merge-tree bug, not a legal schedule) fail loudly
+// instead of double-freeing a recycled slab under a still-running
+// reader. The atomic decrement also orders the free after every
+// sharer's reads: a window still merging a shared run holds a
+// reference, so the slab cannot be recycled under it.
+func (k *KPA) Destroy() bool {
+	switch r := k.refs.Add(-1); {
+	case r > 0:
+		return false
+	case r < 0:
 		panic("kpa: double destroy")
 	}
 	for _, b := range k.sources {
@@ -201,10 +251,11 @@ func (k *KPA) Destroy() {
 		k.alloc = nil
 	}
 	k.pairs = nil
+	return true
 }
 
-// Destroyed reports whether Destroy has run.
-func (k *KPA) Destroyed() bool { return k.destroyed.Load() }
+// Destroyed reports whether the last reference has been released.
+func (k *KPA) Destroyed() bool { return k.refs.Load() <= 0 }
 
 // String renders a short description.
 func (k *KPA) String() string {

@@ -202,6 +202,25 @@ func RadixSortDemand(t Tier, n int) Demand {
 	return Demand{}.Vec(ops).Seq(t, bytes)
 }
 
+// PaneDemand models the per-window share of pane-based sliding
+// aggregation with the radix run-formation kernel: each record is
+// scattered into exactly one non-overlapping pane and the pane run is
+// radix-sorted once, then *shared* (by reference) across the `share`
+// overlapping windows covering the pane. One window is therefore
+// charged 1/share of a single scatter+sort over its n pairs, so the
+// total across all windows equals one extraction and one sort — where
+// the direct (unshared) path pays RadixSortDemand per window, i.e.
+// share× the staging, sort and state traffic. Compare only against
+// RadixSortDemand (experiments.FigPanes does): the engine's operator
+// path instead scales its own SortDemand model by 1/share, so sharing
+// is never conflated with a kernel change.
+func PaneDemand(t Tier, n, share int) Demand {
+	if share < 1 {
+		share = 1
+	}
+	return RadixSortDemand(t, (n+share-1)/share)
+}
+
 // MergeDemand models merging two sorted runs totalling n pairs on tier t:
 // one streaming pass reading both inputs and writing the output.
 func MergeDemand(t Tier, n int) Demand {

@@ -18,6 +18,14 @@ type Metrics struct {
 	MemUtilization       [2]float64
 	Allocs, Frees        int64
 	AllocFailures        int64
+	// Per-tier live grouped window-state bytes (sorted runs + merge
+	// intermediates), indexed like the mempool tiers. Pane sharing is
+	// what keeps the sliding-window figure ~overlap× below the
+	// duplicate-scatter baseline.
+	WindowStateBytes [2]int64
+	// Pane-sharing counters: sorted pane runs built, and the extra
+	// window references taken on them.
+	PaneRuns, SharedRunRefs int64
 	// Demand-balance knob probabilities.
 	KLow, KHigh float64
 	// Scheduler backlog per priority class (low, high, urgent).
@@ -50,6 +58,11 @@ func WriteMetrics(w io.Writer, m Metrics) {
 		gauge("streambox_mempool_capacity_bytes", l, m.MemCapacity[t])
 		gauge("streambox_mempool_utilization", l, m.MemUtilization[t])
 	}
+	for t, name := range tierNames {
+		gauge("streambox_window_state_bytes", `tier="`+name+`"`, m.WindowStateBytes[t])
+	}
+	gauge("streambox_pane_runs_total", "", m.PaneRuns)
+	gauge("streambox_shared_run_refs_total", "", m.SharedRunRefs)
 	gauge("streambox_mempool_allocs_total", "", m.Allocs)
 	gauge("streambox_mempool_frees_total", "", m.Frees)
 	gauge("streambox_mempool_alloc_failures_total", "", m.AllocFailures)

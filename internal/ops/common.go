@@ -49,6 +49,24 @@ func inputSchema(in engine.Input) bundle.Schema {
 func ensureKPADemand(ctx *engine.Ctx, in engine.Input, keyCol int, tier memsim.Tier, doSort bool) memsim.Demand {
 	d := memsim.Demand{}
 	n := in.Rows()
+	if share := in.PaneShare; share > 1 && in.K != nil {
+		// Pane-shared sliding state: key swap and run formation happen
+		// once per pane run and amortize across the windows referencing
+		// it, so each window is charged a 1/share slice of the *same*
+		// kernel model the unshared branch uses — only the sharing
+		// factor separates the two paths, never a kernel swap.
+		// (memsim.PaneDemand is the radix-kernel counterpart, used
+		// where run formation is modeled as radix: experiments.FigPanes.)
+		per := (n + share - 1) / share
+		if in.K.Resident() != keyCol {
+			d = memsim.KeySwapDemand(in.K.Tier(), per)
+		}
+		if doSort {
+			sd := memsim.SortDemand(tier, per)
+			d.Phases = append(d.Phases, sd.Phases...)
+		}
+		return ctx.GroupDemand(d, inputSchema(in))
+	}
 	if in.B != nil {
 		d = kpa.ExtractDemand(in.B, tier)
 	} else if in.K != nil && in.K.Resident() != keyCol {

@@ -77,9 +77,20 @@ func (o *WindowOp) emitFixed(ctx *engine.Ctx, k *kpa.KPA, win wm.Windowing, lo, 
 }
 
 // emitSliding replicates records into every window containing them
-// (each record belongs to Size/Slide windows).
+// (each record belongs to Size/Slide windows). When the windowing
+// decomposes into coarse enough panes (wm.PaneSharing — the same
+// predicate the native backend gates its pane path on), the emitted
+// KPAs carry PaneShare so downstream grouping charges the pane-shared
+// demand (each record's one pane run is built and sorted once,
+// referenced by every covering window) rather than a full sort per
+// replica; shapes that fall back to direct scatter are charged in
+// full.
 func (o *WindowOp) emitSliding(ctx *engine.Ctx, k *kpa.KPA, win wm.Windowing, lo, hi wm.Time, al kpa.Allocator) []engine.Emission {
 	first := win.WindowsOf(lo)[0]
+	share := 1
+	if win.PaneSharing() {
+		share = win.Overlap()
+	}
 	var out []engine.Emission
 	for _, start := range win.Boundaries(first, hi) {
 		s, e := start, win.End(start)
@@ -93,7 +104,7 @@ func (o *WindowOp) emitSliding(ctx *engine.Ctx, k *kpa.KPA, win wm.Windowing, lo
 			continue
 		}
 		out = append(out, engine.Emission{Port: 0, In: engine.Input{
-			K: sel, WinStart: start, HasWin: true,
+			K: sel, WinStart: start, HasWin: true, PaneShare: share,
 		}})
 	}
 	k.Destroy()

@@ -1,0 +1,217 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambox/internal/bundle"
+	"streambox/internal/kpa"
+	"streambox/internal/wm"
+)
+
+// orderAgg is an order-sensitive aggregator: its result is a fold hash
+// of the values in visit order, so any reordering of equal-key pairs
+// between two runs of the pipeline changes the output. It pins that the
+// pane path presents every window's pairs in exactly the sequence the
+// direct duplicate-scatter path does.
+type orderAgg struct{ h uint64 }
+
+func (a *orderAgg) Add(v uint64) { a.h = a.h*1099511628211 + v + 1 }
+func (a *orderAgg) Result() uint64 {
+	if a.h == 0 {
+		return 0
+	}
+	return a.h
+}
+
+func orderSensitive() kpa.AggFactory { return func() kpa.Agg { return &orderAgg{} } }
+
+// skewedGen is a deterministic generator with heavily skewed keys (the
+// minimum of two uniform draws) and timestamps that are non-decreasing
+// within a bundle — the arrival order real ingestion produces, and the
+// property both extraction paths' equal-key orderings agree under.
+type skewedGen struct {
+	keys   uint64
+	rng    *rand.Rand
+	schema bundle.Schema
+}
+
+func newSkewedGen(keys uint64, seed int64) *skewedGen {
+	return &skewedGen{
+		keys:   keys,
+		rng:    rand.New(rand.NewSource(seed)),
+		schema: bundle.Schema{NumCols: 3, TsCol: 2, Names: []string{"key", "value", "ts"}},
+	}
+}
+
+func (g *skewedGen) Schema() bundle.Schema { return g.schema }
+
+func (g *skewedGen) Fill(bd *bundle.Builder, n int, tsLo, tsHi wm.Time) {
+	span := tsHi - tsLo
+	for i := 0; i < n; i++ {
+		ts := tsLo + wm.Time(i)*span/wm.Time(n)
+		a, b := g.rng.Uint64()%g.keys, g.rng.Uint64()%g.keys
+		key := a
+		if b < a {
+			key = b // skew: low keys are hot
+		}
+		bd.Append(key, g.rng.Uint64()%1000, ts)
+	}
+}
+
+// paneTestPlan builds a sliding plan over the skewed stream with an
+// order-sensitive aggregator.
+func paneTestPlan(win wm.Windowing, seed int64) Plan {
+	plan := testPlan(newSkewedGen(13, seed), 24_000)
+	plan.Win = win
+	plan.NewAgg = orderSensitive()
+	plan.Label = "panes"
+	return plan
+}
+
+// TestPaneMatchesDirectSliding is the pane-path equivalence property:
+// across overlap factors 1, 2, 4, 7 and 16, a non-divisible
+// size/slide, skewed keys and an order-sensitive aggregator, the
+// pane-based shared path must reproduce the DirectSliding
+// duplicate-scatter baseline bit for bit — same windows, same keys,
+// same fold hashes. Run under -race in CI.
+func TestPaneMatchesDirectSliding(t *testing.T) {
+	shapes := []wm.Windowing{
+		wm.Sliding(1_000_000, 1_000_000), // overlap 1 (degenerates to fixed)
+		wm.Sliding(1_000_000, 500_000),   // overlap 2
+		wm.Sliding(1_000_000, 250_000),   // overlap 4
+		wm.Sliding(700_000, 100_000),     // overlap 7
+		wm.Sliding(1_000_000, 62_500),    // overlap 16
+		wm.Sliding(700_000, 200_000),     // non-divisible: pane = gcd = 100_000
+		wm.Sliding(1_000_000, 333_333),   // near-coprime: gcd 1, panes fall back to direct
+	}
+	for _, win := range shapes {
+		win := win
+		pane, err := Run(paneTestPlan(win, 42), Config{Workers: 4, Capture: true})
+		if err != nil {
+			t.Fatalf("size=%d slide=%d pane: %v", win.Size, win.Slide, err)
+		}
+		direct, err := Run(paneTestPlan(win, 42), Config{Workers: 4, Capture: true, DirectSliding: true})
+		if err != nil {
+			t.Fatalf("size=%d slide=%d direct: %v", win.Size, win.Slide, err)
+		}
+		if pane.IngestedRecords != direct.IngestedRecords {
+			t.Fatalf("size=%d slide=%d: ingested %d vs %d", win.Size, win.Slide,
+				pane.IngestedRecords, direct.IngestedRecords)
+		}
+		p, d := rowsByWindowKey(pane.Rows), rowsByWindowKey(direct.Rows)
+		if len(p) == 0 || len(p) != len(d) {
+			t.Fatalf("size=%d slide=%d: pane closed %d windows, direct %d",
+				win.Size, win.Slide, len(p), len(d))
+		}
+		for w, pk := range p {
+			dk, ok := d[w]
+			if !ok || len(pk) != len(dk) {
+				t.Fatalf("size=%d slide=%d window %d: pane %d keys, direct %d (present=%v)",
+					win.Size, win.Slide, w, len(pk), len(dk), ok)
+			}
+			for k, v := range pk {
+				if dk[k] != v {
+					t.Fatalf("size=%d slide=%d window %d key %d: pane fold %x, direct fold %x — pair order diverged",
+						win.Size, win.Slide, w, k, v, dk[k])
+				}
+			}
+		}
+		if eligible := win.PaneSharing(); eligible {
+			if pane.PaneRuns == 0 {
+				t.Fatalf("size=%d slide=%d: pane path reported no pane runs", win.Size, win.Slide)
+			}
+			if win.Overlap() > 1 && pane.SharedRunRefs == 0 {
+				t.Fatalf("size=%d slide=%d: overlapping windows took no shared references", win.Size, win.Slide)
+			}
+		} else if pane.PaneRuns != 0 {
+			t.Fatalf("size=%d slide=%d: ineligible shape must fall back to direct scatter", win.Size, win.Slide)
+		}
+		if direct.PaneRuns != 0 || direct.SharedRunRefs != 0 {
+			t.Fatalf("direct baseline must not report pane sharing (%d runs, %d refs)",
+				direct.PaneRuns, direct.SharedRunRefs)
+		}
+	}
+}
+
+// TestPaneStateSharing checks the observable effect the panes exist
+// for: at overlap 8 the pane path's peak window-state bytes sit far
+// below the duplicate-scatter baseline's, and extraction stages
+// overlap× fewer physical pairs for the same logical assignments.
+func TestPaneStateSharing(t *testing.T) {
+	win := wm.Sliding(1_000_000, 125_000) // overlap 8
+	plan := paneTestPlan(win, 7)
+	pane, err := Run(plan, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(paneTestPlan(win, 7), Config{Workers: 4, DirectSliding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panePeak := pane.PeakWindowStateTotalBytes
+	directPeak := direct.PeakWindowStateTotalBytes
+	if panePeak == 0 || directPeak == 0 {
+		t.Fatalf("missing state accounting: pane %d, direct %d", panePeak, directPeak)
+	}
+	if pane.PeakWindowStateBytes[0]+pane.PeakWindowStateBytes[1] < panePeak {
+		t.Fatal("per-tier peaks cannot sum below the combined peak")
+	}
+	if directPeak < 2*panePeak {
+		t.Fatalf("peak state: pane %d, direct %d — sharing should cut state by ~overlap (8x)",
+			panePeak, directPeak)
+	}
+	if pane.ExtractedPairs != direct.ExtractedPairs {
+		t.Fatalf("logical pair accounting diverged: pane %d, direct %d",
+			pane.ExtractedPairs, direct.ExtractedPairs)
+	}
+	if pane.SharedRunRefs < pane.PaneRuns {
+		t.Fatalf("at overlap 8 every interior pane run is shared: %d refs for %d runs",
+			pane.SharedRunRefs, pane.PaneRuns)
+	}
+}
+
+// TestPaneFanInClose drives the pane path past the merge fan-in cap:
+// tiny bundles at overlap 8 give every window far more shared pane
+// runs than one loser tree holds, so closes must compact shared runs
+// (releasing one reference each) before the fused merge-reduce, and
+// totals must still balance.
+func TestPaneFanInClose(t *testing.T) {
+	plan := testPlan(newSkewedGen(5, 3), 12_000)
+	plan.Win = wm.Sliding(1_000_000, 125_000)
+	plan.Source.BundleRecords = 100 // 40 bundles per window of records
+	plan.Source.WatermarkEvery = 40
+	pane, err := Run(plan, Config{Workers: 4, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := func() (Report, error) {
+		plan := testPlan(newSkewedGen(5, 3), 12_000)
+		plan.Win = wm.Sliding(1_000_000, 125_000)
+		plan.Source.BundleRecords = 100
+		plan.Source.WatermarkEvery = 40
+		return Run(plan, Config{Workers: 4, Capture: true, DirectSliding: true})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, d := rowsByWindowKey(pane.Rows), rowsByWindowKey(direct.Rows)
+	if len(p) == 0 || len(p) != len(d) {
+		t.Fatalf("pane closed %d windows, direct %d", len(p), len(d))
+	}
+	var paneSum, directSum uint64
+	for _, keys := range p {
+		for _, v := range keys {
+			paneSum += v
+		}
+	}
+	for _, keys := range d {
+		for _, v := range keys {
+			directSum += v
+		}
+	}
+	if paneSum != directSum {
+		t.Fatalf("sum over windows: pane %d, direct %d — a shared run was dropped or double-merged",
+			paneSum, directSum)
+	}
+}

@@ -14,15 +14,30 @@
 // compact them in k-way batches (a single materialization, not a
 // log2(R) pairwise tree); the old pairwise merge tree plus separate
 // reduce survives as a benchmarking baseline behind
-// Config.PairwiseClose. Everything is scheduled on a work-stealing
-// worker pool whose queues honor the Urgent/High/Low performance-impact
-// tags, with KPA placement drawn from the demand-balance knob and
-// ingestion backpressure driven by mempool utilization.
+// Config.PairwiseClose.
+//
+// Sliding windows aggregate through shared panes: extraction scatters
+// each surviving record into exactly one non-overlapping pane of width
+// gcd(Size, Slide) and radix-sorts one pane run per bundle×pane, and
+// every sliding window references the sorted runs of the panes it
+// covers instead of holding a private copy of each record. Runs are
+// reference counted (one reference per covering window, kpa.Retain/
+// Destroy), so a pane's slab returns to the mempool exactly once, when
+// its last covering window closes — extract and sort work, window
+// state and DRAM traffic all drop by the Size/Slide overlap factor
+// relative to scattering every record into every window it belongs to.
+// The duplicate-scatter path survives as a benchmarking baseline
+// behind Config.DirectSliding. Everything is scheduled on a
+// work-stealing worker pool whose queues honor the Urgent/High/Low
+// performance-impact tags, with KPA placement drawn from the
+// demand-balance knob and ingestion backpressure driven by mempool
+// utilization.
 package runtime
 
 import (
 	"fmt"
 	goruntime "runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,6 +208,21 @@ type Config struct {
 	// path materializes a full KPA per merge level and re-streams the
 	// merged KPA to reduce it.
 	PairwiseClose bool
+	// DirectSliding scatters every record of a sliding-window plan into
+	// all Size/Slide windows containing it instead of the default
+	// pane-based shared aggregation (each record extracted once into a
+	// non-overlapping pane, sorted pane runs refcounted and shared by
+	// every covering window). Benchmarking baseline (cmd/sbx-bench
+	// -exp panes): aggregates are identical — bit-for-bit even for
+	// order-sensitive aggregators when records within a bundle are
+	// time-ordered, which every generator produces (all built-in
+	// aggregators are order-insensitive, so unordered network batches
+	// still aggregate identically). The direct path multiplies staging,
+	// radix-sort work and window-state bytes by the overlap factor; it
+	// is also what near-coprime size/slide plans fall back to, where
+	// the gcd pane width would shatter windows into too many panes
+	// (see maxPanesPerOverlap).
+	DirectSliding bool
 }
 
 // Row is one keyed result: (key, aggregate, window start).
@@ -233,6 +263,29 @@ type Report struct {
 	// SlabsRecycled counts pool allocations served from the slab free
 	// lists instead of the Go heap.
 	SlabsRecycled int64
+	// PaneRuns counts sorted pane runs built by pane-based sliding
+	// extraction, and SharedRunRefs the extra window references taken
+	// on them (covering windows minus one, per run). Both are 0 for
+	// fixed windows and under Config.DirectSliding.
+	PaneRuns, SharedRunRefs int64
+	// ExtractedPairs counts logical (record, window) grouping
+	// assignments; ExtractNanos is worker time spent in the extraction
+	// + run-formation tasks producing them. Their ratio is the
+	// extract-side pair throughput that pane sharing multiplies by the
+	// window overlap (each pair is staged and sorted once per pane, not
+	// once per window).
+	ExtractedPairs int64
+	ExtractNanos   int64
+	// PeakWindowStateBytes is the high-water mark of live grouped
+	// window state (sorted runs plus merge intermediates) per tier,
+	// indexed by memsim.Tier. Pane sharing divides the sliding-window
+	// figure by ~overlap — the bytes that previously tipped the pool
+	// into DRAM exhaustion. The two marks are independent maxima;
+	// PeakWindowStateTotalBytes is the true combined high-water mark
+	// (the figure to hold against pool capacity), which can be less
+	// than their sum when the knob shifts placement between tiers.
+	PeakWindowStateBytes      [2]int64
+	PeakWindowStateTotalBytes int64
 }
 
 // exec carries one run's state.
@@ -255,8 +308,26 @@ type exec struct {
 	ingested  atomic.Int64
 	paused    atomic.Int64 // nanoseconds ingest spent blocked
 
+	// Grouping-front-half observability: logical (record, window)
+	// assignments, worker time spent extracting/sorting them, pane runs
+	// shared across windows, and live/peak window-state bytes per tier.
+	extractPairs  atomic.Int64
+	extractNanos  atomic.Int64
+	paneRuns      atomic.Int64
+	sharedRunRefs atomic.Int64
+	stateBytes    [2]atomic.Int64
+	peakState     [2]atomic.Int64
+	stateTotal    atomic.Int64
+	peakTotal     atomic.Int64
+
+	// paneW is the pane width of the pane-based sliding path (0 when
+	// the plan is fixed-window or Config.DirectSliding asked for the
+	// duplicate-scatter baseline).
+	paneW wm.Time
+
 	wmu     sync.Mutex
 	windows map[wm.Time]*winEntry
+	panes   map[wm.Time]*paneEntry // pane-based sliding only
 	closed  int
 
 	rmu      sync.Mutex
@@ -267,14 +338,28 @@ type exec struct {
 	errs []error
 }
 
-// winEntry tracks one window's sorted runs and the extraction tasks
-// still due to contribute to it. A close requested by a watermark
-// defers until the last pending extraction lands.
+// winEntry tracks the extraction tasks still due to contribute to one
+// window, and — on the fixed and DirectSliding paths — the sorted runs
+// the window owns outright. On the pane path the runs live in
+// paneEntry instead and the window merely references them. A close
+// requested by a watermark defers until the last pending extraction
+// lands.
 type winEntry struct {
 	runs           []*kpa.KPA
 	pending        int
 	closeRequested bool
 	closing        bool
+}
+
+// paneEntry holds one pane's sorted shared runs. Every run carries one
+// KPA reference per window covering the pane; refs counts the covering
+// windows that have not yet retired, and the entry is dropped when the
+// last one closes. Runs only accumulate while at least one covering
+// window still has a pending extraction (no late data), so a closing
+// window always sees the pane's complete run set.
+type paneEntry struct {
+	runs []*kpa.KPA
+	refs int
 }
 
 // Run executes the plan and blocks until every record is ingested and
@@ -336,6 +421,18 @@ func (e *Execution) KnobState() (kLow, kHigh float64) { return e.x.knob.Snapshot
 // BackpressureUtilization.
 func (e *Execution) DRAMUtilization() float64 { return e.x.pool.Utilization(memsim.DRAM) }
 
+// PaneStats returns the pane-sharing counters so far: sorted pane runs
+// built and the extra window references taken on them.
+func (e *Execution) PaneStats() (paneRuns, sharedRunRefs int64) {
+	return e.x.paneRuns.Load(), e.x.sharedRunRefs.Load()
+}
+
+// WindowStateBytes returns the live grouped window-state bytes (sorted
+// runs plus merge intermediates) per tier, indexed by memsim.Tier.
+func (e *Execution) WindowStateBytes() [2]int64 {
+	return [2]int64{e.x.stateBytes[0].Load(), e.x.stateBytes[1].Load()}
+}
+
 // Start launches the plan on the worker pool and returns immediately;
 // use Wait for the final report.
 func Start(plan Plan, cfg Config) (*Execution, error) {
@@ -373,6 +470,10 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 		knob:     engine.NewKnob(cfg.Seed + 1),
 		windows:  make(map[wm.Time]*winEntry),
 		sinkRows: make(map[wm.Time][]Row),
+	}
+	if plan.Win.PaneSharing() && !cfg.DirectSliding {
+		x.paneW = plan.Win.PaneWidth()
+		x.panes = make(map[wm.Time]*paneEntry)
 	}
 	if cfg.NoRecycle {
 		x.pool.SetRecycling(false)
@@ -415,6 +516,14 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 			PausedNanos:     x.paused.Load(),
 			GCPauseNs:       int64(ms1.PauseTotalNs - ms0.PauseTotalNs),
 			SlabsRecycled:   x.pool.Stats().Recycled,
+			PaneRuns:        x.paneRuns.Load(),
+			SharedRunRefs:   x.sharedRunRefs.Load(),
+			ExtractedPairs:  x.extractPairs.Load(),
+			ExtractNanos:    x.extractNanos.Load(),
+			PeakWindowStateBytes: [2]int64{
+				x.peakState[0].Load(), x.peakState[1].Load(),
+			},
+			PeakWindowStateTotalBytes: x.peakTotal.Load(),
 		}
 		if ingested > 0 {
 			rep.AllocsPerRecord = float64(ms1.Mallocs-ms0.Mallocs) / float64(ingested)
@@ -535,6 +644,14 @@ func (x *exec) ingestFeed() {
 			x.recordError(fmt.Errorf("runtime: feed batch has %d columns, schema wants %d", len(cols), schema.NumCols))
 			continue
 		}
+		if len(cols[x.plan.TsCol]) == 0 {
+			x.recordError(fmt.Errorf("runtime: feed batch window column %d is empty (%d-row batch)", x.plan.TsCol, len(cols[0])))
+			continue
+		}
+		// One min/max pass over the batch's window column serves both
+		// the exhaustion-path watermark clamp below and extraction
+		// registration (submitExtractRange), instead of rescanning the
+		// same column inside submitExtract.
 		ts := cols[x.plan.TsCol]
 		minTs, maxTs := ts[0], ts[0]
 		for _, v := range ts[1:] {
@@ -550,7 +667,7 @@ func (x *exec) ingestFeed() {
 			b, err := x.buildFeedBundle(schema, cols)
 			if err == nil {
 				x.ingested.Add(int64(b.Rows()))
-				x.submitExtract(b, maxTs)
+				x.submitExtractRange(b, maxTs, minTs, maxTs)
 				if recycler != nil {
 					// The bundle holds its own copy now; the column
 					// buffers go back to the feed's decoder.
@@ -642,16 +759,19 @@ func (x *exec) buildBundle(schema bundle.Schema, n int, tsLo wm.Time, tsPerRecor
 	return bd.Seal(), tsHi, nil
 }
 
-// submitExtract registers the bundle's windows and schedules its
-// extract+sort task.
+// submitExtract scans the bundle's window column for its timestamp
+// range, then registers and schedules extraction. The range comes from
+// the plan's window column — which the Window stage chooses and need
+// not be the schema's timestamp column — so registration and
+// partitioning agree. Callers that already scanned the column (the
+// network feed needs min/max for its watermark clamp) use
+// submitExtractRange directly and skip the second full-column pass.
 func (x *exec) submitExtract(b *bundle.Bundle, tsHi wm.Time) {
-	// Register every window the bundle may contribute to before the
-	// task runs, so a racing watermark defers closure until extraction
-	// lands. The range comes from the plan's window column — which the
-	// Window stage chooses and need not be the schema's timestamp
-	// column — so registration and partitioning agree.
 	ts := b.Col(x.plan.TsCol)
 	if len(ts) == 0 {
+		// Same accounting as the extract task's release path: the
+		// bundle was still built and streamed through DRAM.
+		x.addDRAMTraffic(b.Bytes())
 		b.Release()
 		return
 	}
@@ -664,6 +784,14 @@ func (x *exec) submitExtract(b *bundle.Bundle, tsHi wm.Time) {
 			maxTs = v
 		}
 	}
+	x.submitExtractRange(b, tsHi, minTs, maxTs)
+}
+
+// submitExtractRange registers every window the bundle may contribute
+// to before the extract+sort task runs, so a racing watermark defers
+// closure until extraction lands. minTs/maxTs must bound the bundle's
+// window-column values.
+func (x *exec) submitExtractRange(b *bundle.Bundle, tsHi, minTs, maxTs wm.Time) {
 	wins := windowsInRange(x.plan.Win, minTs, maxTs)
 	x.wmu.Lock()
 	for _, w := range wins {
@@ -680,26 +808,34 @@ func (x *exec) submitExtract(b *bundle.Bundle, tsHi wm.Time) {
 	x.sched.Submit(&Task{
 		Name: "extract:" + x.plan.Label,
 		Tag:  tag,
-		Run:  func() { x.extract(b, wins) },
+		Run:  func() { x.extract(b, wins, minTs, maxTs) },
 	})
 }
 
 // extract is the native grouping front half: it partitions the
-// bundle's surviving rows into windows, builds one KPA per window
-// (placed by the knob, pair storage drawn from the slab recycler),
-// sorts each with the LSD radix kernel — first-level run formation,
-// the paper's Table 2 split; the merge tree above stays
-// comparison-based — and files them as window state. For fixed windows
-// it runs as two counting/filling passes over pool-backed staging, so
-// the steady-state path allocates nothing per record.
-func (x *exec) extract(b *bundle.Bundle, wins []wm.Time) {
+// bundle's surviving rows — into fixed windows, into shared panes
+// (sliding default), or into every overlapping window (DirectSliding
+// baseline) — builds one KPA per partition (placed by the knob, pair
+// storage drawn from the slab recycler), sorts each with the LSD radix
+// kernel — first-level run formation, the paper's Table 2 split; the
+// merge above stays comparison-based — and files them as window state.
+// Every path runs as two counting/filling passes over pool-backed
+// staging, so the steady state allocates nothing per record.
+func (x *exec) extract(b *bundle.Bundle, wins []wm.Time, minTs, maxTs wm.Time) {
+	t0 := time.Now()
 	defer b.Release() // drop the producer reference; KPAs hold their own
-	if x.plan.Win.IsFixed() && len(wins) > 0 {
+	switch {
+	case len(wins) == 0:
+		// No windows registered: nothing to file.
+	case x.plan.Win.IsFixed():
 		x.extractFixed(b, wins)
-	} else {
+	case x.paneW > 0:
+		x.extractPanes(b, wins, minTs, maxTs)
+	default:
 		x.extractSliding(b, wins)
 	}
 	x.addDRAMTraffic(b.Bytes())
+	x.extractNanos.Add(time.Since(t0).Nanoseconds())
 }
 
 // intSlab is a pooled []int scratch buffer for the per-bundle
@@ -719,9 +855,7 @@ func getIntSlab(n int) *intSlab {
 		s.buf = make([]int, n)
 	}
 	s.buf = s.buf[:n]
-	for i := range s.buf {
-		s.buf[i] = 0
-	}
+	clear(s.buf)
 	return s
 }
 
@@ -776,28 +910,136 @@ rows2:
 		cursor[w]++
 	}
 
+	x.extractPairs.Add(int64(total))
 	seg := 0
 	for wi, w := range wins {
 		var k *kpa.KPA
 		if counts[wi] > 0 {
-			k = x.buildRun(staging[seg:seg+counts[wi]], b, w)
+			k = x.buildRun(staging[seg:seg+counts[wi]], b, w, algo.RunMeta{Origin: uint64(id), Lo: w})
 			seg += counts[wi]
 		}
 		x.extractDone(w, k)
 	}
 }
 
-// extractSliding handles overlapping windows with the same
-// counting/scatter structure as extractFixed: a row lands in at most
-// ceil(Size/Slide) windows, all enumerable in place, so pass one counts
-// each window's share, pass two scatters pairs into per-window segments
-// of one pooled staging buffer, and each segment becomes one
-// recycled-slab KPA — no per-row append, no per-window map, nothing on
-// the heap in steady state.
-func (x *exec) extractSliding(b *bundle.Bundle, wins []wm.Time) {
-	if len(wins) == 0 {
-		return
+// extractPanes is the sliding-window default: pane-based shared
+// aggregation. Each surviving row is scattered into exactly one
+// non-overlapping pane of width gcd(Size, Slide) — the same two-pass
+// counting/scatter structure as extractFixed, one pooled staging
+// buffer, zero heap traffic per record — and each non-empty pane
+// becomes one sorted, recycled-slab KPA run. The run is then *shared*:
+// it takes one reference per window covering the pane, and every one
+// of those windows merges it at close (the fused merge-reduce consumes
+// arbitrary sorted-run sets, so shared pane runs slot in unchanged).
+// Relative to the DirectSliding baseline this divides staging, radix
+// work and window-state bytes by the Size/Slide overlap.
+func (x *exec) extractPanes(b *bundle.Bundle, wins []wm.Time, minTs, maxTs wm.Time) {
+	keys := b.Col(x.plan.KeyCol)
+	ts := b.Col(x.plan.TsCol)
+	id := uint32(b.ID())
+	pw := x.paneW
+	base := minTs / pw * pw
+	nPanes := int(maxTs/pw-minTs/pw) + 1
+
+	ints := getIntSlab(2 * nPanes)
+	defer putIntSlab(ints)
+	counts, cursor := ints.buf[:nPanes], ints.buf[nPanes:]
+	total := 0
+rows:
+	for i := 0; i < b.Rows(); i++ {
+		for _, f := range x.plan.Filters {
+			if !f.Keep(b.At(i, f.Col)) {
+				continue rows
+			}
+		}
+		counts[(ts[i]-base)/pw]++
+		total++
 	}
+
+	scratch := x.scratch[memsim.DRAM]
+	staging := scratch.GetPairs(total)
+	defer scratch.PutPairs(staging)
+	off := 0
+	for p, c := range counts {
+		cursor[p] = off
+		off += c
+	}
+rows2:
+	for i := 0; i < b.Rows(); i++ {
+		for _, f := range x.plan.Filters {
+			if !f.Keep(b.At(i, f.Col)) {
+				continue rows2
+			}
+		}
+		p := (ts[i] - base) / pw
+		staging[cursor[p]] = algo.Pair{Key: keys[i], Ptr: kpa.PackPtr(id, uint32(i))}
+		cursor[p]++
+	}
+
+	runs := make([]*kpa.KPA, 0, nPanes)
+	starts := make([]wm.Time, 0, nPanes)
+	seg := 0
+	for pi := 0; pi < nPanes; pi++ {
+		c := counts[pi]
+		if c == 0 {
+			continue
+		}
+		p := base + wm.Time(pi)*pw
+		covering := x.plan.Win.CoveringWindows(p)
+		// Logical (record, window) assignments stay comparable with the
+		// direct path, which stages each of them physically.
+		x.extractPairs.Add(int64(c) * int64(covering))
+		k := x.buildRun(staging[seg:seg+c], b, p, algo.RunMeta{Origin: uint64(id), Lo: p})
+		seg += c
+		if k == nil {
+			continue // allocation error already recorded
+		}
+		k.Retain(covering - 1) // one reference per covering window
+		x.paneRuns.Add(1)
+		x.sharedRunRefs.Add(int64(covering - 1))
+		runs = append(runs, k)
+		starts = append(starts, p)
+	}
+	x.panesDone(wins, starts, runs)
+}
+
+// panesDone files freshly sorted pane runs into the pane registry and
+// retires this extraction from every window it was registered against,
+// starting deferred closes that were waiting on it.
+func (x *exec) panesDone(wins []wm.Time, starts []wm.Time, runs []*kpa.KPA) {
+	var toClose []wm.Time
+	x.wmu.Lock()
+	for i, p := range starts {
+		pe := x.panes[p]
+		if pe == nil {
+			pe = &paneEntry{refs: x.plan.Win.CoveringWindows(p)}
+			x.panes[p] = pe
+		}
+		pe.runs = append(pe.runs, runs[i])
+	}
+	for _, w := range wins {
+		e := x.windows[w]
+		e.pending--
+		if e.closeRequested && e.pending == 0 && !e.closing {
+			e.closing = true
+			toClose = append(toClose, w)
+		}
+	}
+	x.wmu.Unlock()
+	for _, w := range toClose {
+		x.submitClose(w)
+	}
+}
+
+// extractSliding is the DirectSliding baseline: overlapping windows
+// with the same counting/scatter structure as extractFixed. A row
+// lands in at most ceil(Size/Slide) windows, all enumerable in place,
+// so pass one counts each window's share, pass two scatters pairs into
+// per-window segments of one pooled staging buffer, and each segment
+// becomes one recycled-slab KPA — no per-row append, no per-window
+// map, nothing on the heap in steady state, but every record is staged
+// and sorted once per window it belongs to.
+func (x *exec) extractSliding(b *bundle.Bundle, wins []wm.Time) {
 	keys := b.Col(x.plan.KeyCol)
 	ts := b.Col(x.plan.TsCol)
 	id := uint32(b.ID())
@@ -859,21 +1101,23 @@ rows2:
 		}
 	}
 
+	x.extractPairs.Add(int64(total))
 	seg := 0
 	for wi, w := range wins {
 		var k *kpa.KPA
 		if counts[wi] > 0 {
-			k = x.buildRun(staging[seg:seg+counts[wi]], b, w)
+			k = x.buildRun(staging[seg:seg+counts[wi]], b, w, algo.RunMeta{Origin: uint64(id), Lo: w})
 			seg += counts[wi]
 		}
 		x.extractDone(w, k)
 	}
 }
 
-// buildRun turns one window's staged pairs into a sorted KPA: slab
-// storage from the knob-placed allocator, radix-sorted in place with
-// pooled scatter scratch. Returns nil after reporting an error.
-func (x *exec) buildRun(pairs []algo.Pair, b *bundle.Bundle, w wm.Time) *kpa.KPA {
+// buildRun turns one partition's staged pairs into a sorted KPA run:
+// slab storage from the knob-placed allocator, radix-sorted in place
+// with pooled scatter scratch, stamped with its provenance so closes
+// order runs deterministically. Returns nil after reporting an error.
+func (x *exec) buildRun(pairs []algo.Pair, b *bundle.Bundle, w wm.Time, meta algo.RunMeta) *kpa.KPA {
 	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), w)
 	k, err := kpa.FromPairs(pairs, x.plan.KeyCol, b, x.allocator(tag))
 	if err != nil {
@@ -881,6 +1125,7 @@ func (x *exec) buildRun(pairs []algo.Pair, b *bundle.Bundle, w wm.Time) *kpa.KPA
 		return nil
 	}
 	kpa.SortRadix(k, 1, x.scratch[k.Tier()])
+	k.SetMeta(meta)
 	x.noteKPA(k)
 	return k
 }
@@ -944,13 +1189,25 @@ const mergeFanIn = 32
 // per-task overhead for a few hundred pairs each.
 const minClosePartitionPairs = 8 << 10
 
-// submitClose takes ownership of a closing window's sorted runs and
-// starts the close.
+// submitClose collects a closing window's sorted runs and starts the
+// close. On the fixed and DirectSliding paths the window owns its runs
+// outright; on the pane path it gathers the shared runs of every pane
+// it covers — each close releases exactly one reference per run, and
+// the storage frees when the last covering window closes.
 func (x *exec) submitClose(start wm.Time) {
+	var runs []*kpa.KPA
 	x.wmu.Lock()
-	e := x.windows[start]
-	runs := e.runs
-	e.runs = nil
+	if x.paneW > 0 {
+		for p := start; p < start+x.plan.Win.Size; p += x.paneW {
+			if pe := x.panes[p]; pe != nil {
+				runs = append(runs, pe.runs...)
+			}
+		}
+	} else {
+		e := x.windows[start]
+		runs = e.runs
+		e.runs = nil
+	}
 	x.wmu.Unlock()
 	x.closeWindow(start, runs)
 }
@@ -958,8 +1215,14 @@ func (x *exec) submitClose(start wm.Time) {
 // closeWindow dispatches one close step: the fused range-partitioned
 // merge-reduce when the runs fit one loser tree, a k-way compaction
 // level when they don't, and the pairwise-tree baseline when the config
-// asks for it.
+// asks for it. Runs are first ordered by provenance (producing bundle,
+// then pane/window start) so the merge's equal-key tie-break — and with
+// it any order-sensitive aggregator — is deterministic, independent of
+// which extraction task finished first; when records within a bundle
+// are time-ordered (every generator; network batches in arrival order)
+// that sequence is also identical between the pane and direct paths.
 func (x *exec) closeWindow(start wm.Time, runs []*kpa.KPA) {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Meta().Less(runs[j].Meta()) })
 	switch {
 	case len(runs) == 0:
 		x.finishWindow(start)
@@ -1003,8 +1266,14 @@ func (x *exec) mergeFanInLevel(start wm.Time, runs []*kpa.KPA) {
 			Tag:  tag,
 			Run: func() {
 				merged, err := kpa.MergeK(batch, x.allocator(tag))
+				if err == nil {
+					// Batches are contiguous in provenance order, so the
+					// first input's metadata keeps the compacted run's
+					// position deterministic at the next level.
+					merged.SetMeta(batch[0].Meta())
+				}
 				for _, r := range batch {
-					r.Destroy()
+					x.destroyRun(r)
 				}
 				if err != nil {
 					x.recordError(err)
@@ -1043,7 +1312,7 @@ func (x *exec) submitMergeReduce(start wm.Time, runs []*kpa.KPA) {
 			x.recordError(err)
 		}
 		for _, r := range runs {
-			r.Destroy()
+			x.destroyRun(r)
 		}
 		x.finishWindow(start)
 		return
@@ -1073,7 +1342,7 @@ func (x *exec) submitMergeReduce(start wm.Time, runs []*kpa.KPA) {
 				x.addDRAMTraffic(width * (memsim.PairBytes + 8))
 				if remaining.Add(-1) == 0 {
 					for _, r := range runs {
-						r.Destroy()
+						x.destroyRun(r)
 					}
 					x.finishWindow(start)
 				}
@@ -1110,8 +1379,11 @@ func (x *exec) mergeLevel(start wm.Time, runs []*kpa.KPA) {
 			Tag:  tag,
 			Run: func() {
 				merged, err := kpa.Merge(a, b, x.allocator(tag))
-				a.Destroy()
-				b.Destroy()
+				if err == nil {
+					merged.SetMeta(a.Meta())
+				}
+				x.destroyRun(a)
+				x.destroyRun(b)
 				if err != nil {
 					x.recordError(err)
 				} else {
@@ -1148,7 +1420,7 @@ func (x *exec) submitReduce(start wm.Time, k *kpa.KPA) {
 		if err != nil {
 			x.recordError(err)
 		}
-		k.Destroy()
+		x.destroyRun(k)
 		x.finishWindow(start)
 		return
 	}
@@ -1170,7 +1442,7 @@ func (x *exec) submitReduce(start wm.Time, k *kpa.KPA) {
 				x.emitRows(start, out)
 				x.addDRAMTraffic(int64(hi-lo) * 8)
 				if remaining.Add(-1) == 0 {
-					k.Destroy()
+					x.destroyRun(k)
 					x.finishWindow(start)
 				}
 			},
@@ -1195,9 +1467,23 @@ func (x *exec) emitRows(start wm.Time, rows []Row) {
 }
 
 // finishWindow retires a closed window and, when a WindowSink is
-// configured, publishes its result rows.
+// configured, publishes its result rows. On the pane path it also
+// releases the window's claim on each pane it covered: the pane entry
+// is dropped when its last covering window retires (the runs
+// themselves were already released, one reference each, by the close's
+// merge tasks).
 func (x *exec) finishWindow(start wm.Time) {
 	x.wmu.Lock()
+	if x.paneW > 0 {
+		for p := start; p < start+x.plan.Win.Size; p += x.paneW {
+			if pe := x.panes[p]; pe != nil {
+				pe.refs--
+				if pe.refs <= 0 {
+					delete(x.panes, p)
+				}
+			}
+		}
+	}
 	delete(x.windows, start)
 	x.closed++
 	x.wmu.Unlock()
@@ -1242,12 +1528,42 @@ func (a *knobAllocator) AllocKPA(nBytes int64) (memsim.Tier, *mempool.Allocation
 	return memsim.DRAM, al, err
 }
 
-// noteKPA counts a placement for the report.
+// noteKPA counts a placement for the report and charges the run's
+// bytes to the live window-state gauge (and its per-tier high-water
+// mark). Every run noted here must retire through destroyRun.
 func (x *exec) noteKPA(k *kpa.KPA) {
-	if k.Tier() == memsim.HBM {
+	t := k.Tier()
+	if t == memsim.HBM {
 		x.hbmKPAs.Add(1)
 	} else {
 		x.dramKPAs.Add(1)
+	}
+	cur := x.stateBytes[t].Add(k.Bytes())
+	for {
+		peak := x.peakState[t].Load()
+		if cur <= peak || x.peakState[t].CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	total := x.stateTotal.Add(k.Bytes())
+	for {
+		peak := x.peakTotal.Load()
+		if total <= peak || x.peakTotal.CompareAndSwap(peak, total) {
+			break
+		}
+	}
+}
+
+// destroyRun releases one reference to a window-state run, crediting
+// the live-state gauge when the storage actually frees. Reading
+// Bytes/Tier before the release is safe: while this reference is
+// outstanding no other holder's Destroy can be the final one, so the
+// pairs cannot be freed underneath us.
+func (x *exec) destroyRun(k *kpa.KPA) {
+	t, n := k.Tier(), k.Bytes()
+	if k.Destroy() {
+		x.stateBytes[t].Add(-n)
+		x.stateTotal.Add(-n)
 	}
 }
 

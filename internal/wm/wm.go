@@ -80,6 +80,67 @@ func (w Windowing) WindowsOf(ts Time) []Time {
 // End returns the end (exclusive) of the window starting at start.
 func (w Windowing) End(start Time) Time { return start + w.Size }
 
+// PaneWidth returns the width of the non-overlapping panes sliding
+// windows decompose into: gcd(Size, Slide), so every window is an exact
+// union of whole panes (in practice the slide, since sizes are usually
+// slide multiples). Fixed windows are their own single pane.
+func (w Windowing) PaneWidth() Time {
+	a, b := w.Size, w.slide()
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PanesPerWindow returns how many panes one window spans. When the
+// slide divides the size it equals Overlap; for near-coprime
+// size/slide combinations the gcd degenerates towards 1 and the count
+// blows up — the runtime compares it against Overlap to decide whether
+// pane sharing is worth engaging.
+func (w Windowing) PanesPerWindow() int { return int(w.Size / w.PaneWidth()) }
+
+// Overlap returns ceil(Size/Slide): how many windows an interior
+// timestamp (and so an interior pane) belongs to — the sharing factor
+// pane-based aggregation divides grouping work and state by.
+func (w Windowing) Overlap() int {
+	s := w.slide()
+	return int((w.Size + s - 1) / s)
+}
+
+// MaxPanesPerOverlap bounds how fragmented the pane decomposition may
+// get before pane-based sharing stops paying: the pane width is
+// gcd(Size, Slide), so a near-coprime size/slide (say 1e6/333_333,
+// gcd 1) would shatter each window into ~Size panes — per-timestamp
+// runs and a pane probe per time unit at close. Divisible slides give
+// exactly Overlap panes per window; mildly non-divisible ones a small
+// multiple.
+const MaxPanesPerOverlap = 8
+
+// PaneSharing reports whether this windowing decomposes into coarse
+// enough panes for shared pane aggregation to win; shapes past the
+// bound run the direct duplicate-scatter path, whose cost is just
+// overlap×. Both execution backends key off this predicate, so the
+// native path and the simulator's demand model agree on when sharing
+// is in effect.
+func (w Windowing) PaneSharing() bool {
+	return !w.IsFixed() && w.PanesPerWindow() <= MaxPanesPerOverlap*w.Overlap()
+}
+
+// CoveringWindows returns how many windows contain the pane starting at
+// pane — the multiples s of the slide with s <= pane and
+// s+Size >= pane+PaneWidth, clamped at window start 0. This is the
+// reference count a shared pane run carries: each covering window
+// releases one reference when it closes.
+func (w Windowing) CoveringWindows(pane Time) int {
+	s := w.slide()
+	hi := pane / s // last covering start
+	var lo Time
+	if pane+w.PaneWidth() > w.Size {
+		lo = (pane + w.PaneWidth() - w.Size + s - 1) / s
+	}
+	return int(hi-lo) + 1
+}
+
 // Boundaries returns the window-start boundaries covering [lo, hi],
 // suitable as Partition key ranges for the Windowing operator.
 func (w Windowing) Boundaries(lo, hi Time) []Time {

@@ -198,3 +198,70 @@ func TestPropClosedWindows(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPaneGeometry pins the pane decomposition helpers on divisible and
+// non-divisible size/slide combinations.
+func TestPaneGeometry(t *testing.T) {
+	cases := []struct {
+		win    Windowing
+		paneW  Time
+		perWin int
+	}{
+		{Sliding(100, 50), 50, 2},
+		{Sliding(100, 25), 25, 4},
+		{Sliding(700, 200), 100, 7},
+		{Sliding(96, 7), 1, 96},
+		{Fixed(100), 100, 1},
+	}
+	for _, c := range cases {
+		if got := c.win.PaneWidth(); got != c.paneW {
+			t.Fatalf("%+v: pane width %d, want %d", c.win, got, c.paneW)
+		}
+		if got := c.win.PanesPerWindow(); got != c.perWin {
+			t.Fatalf("%+v: panes/window %d, want %d", c.win, got, c.perWin)
+		}
+		// Windows must decompose into whole panes.
+		if c.win.Size%c.paneW != 0 || c.win.slide()%c.paneW != 0 {
+			t.Fatalf("%+v: pane width %d does not tile size/slide", c.win, c.paneW)
+		}
+	}
+}
+
+// TestCoveringWindowsProperty cross-checks CoveringWindows against
+// direct enumeration: the count of window starts s (multiples of the
+// slide, clamped at 0) whose [s, s+Size) fully contains the pane.
+func TestCoveringWindowsProperty(t *testing.T) {
+	for _, win := range []Windowing{
+		Sliding(100, 50), Sliding(100, 25), Sliding(700, 200),
+		Sliding(96, 7), Sliding(10, 1), Fixed(100),
+	} {
+		pw := win.PaneWidth()
+		slide := win.slide()
+		for pane := Time(0); pane < 5*win.Size; pane += pw {
+			want := 0
+			for s := Time(0); s <= pane; s += slide {
+				if s+win.Size >= pane+pw {
+					want++
+				}
+			}
+			if got := win.CoveringWindows(pane); got != want {
+				t.Fatalf("%+v pane %d: covering %d, want %d", win, pane, got, want)
+			}
+		}
+	}
+}
+
+// TestOverlap pins the sharing factor.
+func TestOverlap(t *testing.T) {
+	for _, c := range []struct {
+		win  Windowing
+		want int
+	}{
+		{Fixed(100), 1}, {Sliding(100, 50), 2}, {Sliding(100, 25), 4},
+		{Sliding(700, 200), 4}, {Sliding(100, 100), 1},
+	} {
+		if got := c.win.Overlap(); got != c.want {
+			t.Fatalf("%+v: overlap %d, want %d", c.win, got, c.want)
+		}
+	}
+}

@@ -216,6 +216,21 @@ type Report struct {
 	// quantify what the slab-recycling mempool takes off the hot path.
 	GCPauseNs       int64
 	AllocsPerRecord float64
+	// PaneRuns counts the sorted pane runs built by the native
+	// backend's pane-based sliding aggregation, and SharedRunRefs the
+	// extra window references taken on them — each sliding window
+	// references the runs of the panes it covers instead of holding a
+	// private copy of every record. Both 0 for fixed windows and on the
+	// simulated backend.
+	PaneRuns, SharedRunRefs int64
+	// PeakWindowStateBytes is the native backend's high-water mark of
+	// live grouped window state per memory tier (0 HBM, 1 DRAM), and
+	// PeakWindowStateTotalBytes the combined high-water mark (the
+	// per-tier marks are independent maxima and may sum higher). Pane
+	// sharing keeps the sliding-window figures ~Size/Slide× below what
+	// per-window duplication holds.
+	PeakWindowStateBytes      [2]int64
+	PeakWindowStateTotalBytes int64
 	// EmittedRecords counts result records at sinks.
 	EmittedRecords int64
 	// WindowsClosed and output delays (virtual seconds).
@@ -612,14 +627,18 @@ func runNative(p *Pipeline, cfg RunConfig) (Report, error) {
 		capture.Records = int64(len(capture.Rows))
 	}
 	return Report{
-		Backend:         Native,
-		IngestedRecords: rep.IngestedRecords,
-		Throughput:      rep.Throughput,
-		WallSeconds:     rep.Elapsed.Seconds(),
-		GCPauseNs:       rep.GCPauseNs,
-		AllocsPerRecord: rep.AllocsPerRecord,
-		EmittedRecords:  rep.EmittedRecords,
-		WindowsClosed:   rep.WindowsClosed,
+		Backend:                   Native,
+		IngestedRecords:           rep.IngestedRecords,
+		Throughput:                rep.Throughput,
+		WallSeconds:               rep.Elapsed.Seconds(),
+		GCPauseNs:                 rep.GCPauseNs,
+		AllocsPerRecord:           rep.AllocsPerRecord,
+		EmittedRecords:            rep.EmittedRecords,
+		WindowsClosed:             rep.WindowsClosed,
+		PaneRuns:                  rep.PaneRuns,
+		SharedRunRefs:             rep.SharedRunRefs,
+		PeakWindowStateBytes:      rep.PeakWindowStateBytes,
+		PeakWindowStateTotalBytes: rep.PeakWindowStateTotalBytes,
 	}, nil
 }
 
@@ -811,6 +830,8 @@ func (s *Server) scrapeMetrics() netio.Metrics {
 		m.MemCapacity[t] = mem.Tiers[t].Capacity
 		m.MemUtilization[t] = mem.Tiers[t].Utilization
 	}
+	m.WindowStateBytes = s.exec.WindowStateBytes()
+	m.PaneRuns, m.SharedRunRefs = s.exec.PaneStats()
 	m.KLow, m.KHigh = s.exec.KnobState()
 	return m
 }
@@ -849,16 +870,20 @@ func (s *Server) Shutdown() (Report, error) {
 	}
 	ctr := s.ingest.Counters()
 	out := Report{
-		Backend:         Native,
-		IngestedRecords: rep.IngestedRecords,
-		Throughput:      rep.Throughput,
-		WallSeconds:     rep.Elapsed.Seconds(),
-		GCPauseNs:       rep.GCPauseNs,
-		AllocsPerRecord: rep.AllocsPerRecord,
-		EmittedRecords:  rep.EmittedRecords,
-		WindowsClosed:   rep.WindowsClosed,
-		DroppedRecords:  ctr.DroppedRecords,
-		DecodeErrors:    ctr.DecodeErrors,
+		Backend:                   Native,
+		IngestedRecords:           rep.IngestedRecords,
+		Throughput:                rep.Throughput,
+		WallSeconds:               rep.Elapsed.Seconds(),
+		GCPauseNs:                 rep.GCPauseNs,
+		AllocsPerRecord:           rep.AllocsPerRecord,
+		EmittedRecords:            rep.EmittedRecords,
+		WindowsClosed:             rep.WindowsClosed,
+		PaneRuns:                  rep.PaneRuns,
+		SharedRunRefs:             rep.SharedRunRefs,
+		PeakWindowStateBytes:      rep.PeakWindowStateBytes,
+		PeakWindowStateTotalBytes: rep.PeakWindowStateTotalBytes,
+		DroppedRecords:            ctr.DroppedRecords,
+		DecodeErrors:              ctr.DecodeErrors,
 	}
 	return out, err
 }
