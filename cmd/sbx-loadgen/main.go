@@ -5,7 +5,13 @@
 // flow-control credits) or open-loop at a target rate.
 //
 //	sbx-loadgen -addr 127.0.0.1:7077 -conns 4 -records 1000000
+//	sbx-loadgen -addr 127.0.0.1:7077 -wire columnar -records 5000000
 //	sbx-loadgen -addr 127.0.0.1:7077 -rate 200000 -duration 10 -format json
+//
+// With -wire columnar the generator fills column buffers directly and
+// streams column-major frames — no per-record encoding on either end.
+// Against a row-only (wire version 1) server the client falls back to
+// the PB record path automatically.
 package main
 
 import (
@@ -23,7 +29,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "ingest server address")
 	conns := flag.Int("conns", 4, "parallel connections")
-	formatName := flag.String("format", "pb", "payload encoding: pb|json|text")
+	wire := flag.String("wire", "row", "wire mode: row (per-record -format payloads) | columnar (column-major v2 frames; ignores -format)")
+	formatName := flag.String("format", "pb", "row payload encoding: pb|json|text")
 	records := flag.Int64("records", 1_000_000, "total records to send (ignored with -duration)")
 	duration := flag.Float64("duration", 0, "send for this many seconds instead of a fixed record count")
 	rate := flag.Float64("rate", 0, "open-loop target rate, records/second total (0 = closed loop, as fast as credits allow)")
@@ -35,9 +42,19 @@ func main() {
 	seed := flag.Uint64("seed", 0, "random-mode seed")
 	flag.Parse()
 
-	format, err := netio.ParseFormat(*formatName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	var format parsefmt.Format
+	switch *wire {
+	case "columnar":
+		format = parsefmt.Columnar
+	case "row":
+		f, err := netio.ParseFormat(*formatName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		format = f
+	default:
+		fmt.Fprintf(os.Stderr, "unknown wire mode %q (row|columnar)\n", *wire)
 		os.Exit(2)
 	}
 	if *conns < 1 {
@@ -63,6 +80,8 @@ func main() {
 		}
 		clients[j] = c
 	}
+	// A columnar dial may have fallen back against a row-only server.
+	format = clients[0].Format()
 
 	var stop atomic.Bool
 	if *duration > 0 {
@@ -79,21 +98,54 @@ func main() {
 		go func(j int, c *netio.Client) {
 			defer wg.Done()
 			defer c.Close()
-			buf := make([]parsefmt.Record, 0, *frame)
+			columnar := c.Format() == parsefmt.Columnar
+			var buf []parsefmt.Record
+			var cols [][]uint64
+			if columnar {
+				cols = make([][]uint64, 7)
+				for k := range cols {
+					cols[k] = make([]uint64, 0, *frame)
+				}
+			} else {
+				buf = make([]parsefmt.Record, 0, *frame)
+			}
+			pending := 0
+			flush := func() error {
+				var err error
+				if columnar {
+					err = c.SendColumns(cols)
+					for k := range cols {
+						cols[k] = cols[k][:0]
+					}
+				} else {
+					err = c.Send(buf)
+					buf = buf[:0]
+				}
+				pending = 0
+				return err
+			}
 			connStart := time.Now()
 			var sent int64
 			for i := int64(j); i < *records; i += int64(*conns) {
 				if stop.Load() {
 					break
 				}
-				buf = append(buf, gen.At(uint64(i)))
-				if len(buf) == *frame {
-					if err := c.Send(buf); err != nil {
+				if columnar {
+					rc := gen.ColsAt(uint64(i))
+					for k := range cols {
+						cols[k] = append(cols[k], rc[k])
+					}
+				} else {
+					buf = append(buf, gen.At(uint64(i)))
+				}
+				pending++
+				if pending == *frame {
+					n := pending
+					if err := flush(); err != nil {
 						errs <- fmt.Errorf("conn %d: %w", j, err)
 						return
 					}
-					sent += int64(len(buf))
-					buf = buf[:0]
+					sent += int64(n)
 					if perConnRate > 0 {
 						// Open loop: sleep off any schedule surplus.
 						ahead := time.Duration(float64(sent)/perConnRate*float64(time.Second)) - time.Since(connStart)
@@ -103,8 +155,8 @@ func main() {
 					}
 				}
 			}
-			if len(buf) > 0 && !stop.Load() {
-				if err := c.Send(buf); err != nil {
+			if pending > 0 && !stop.Load() {
+				if err := flush(); err != nil {
 					errs <- fmt.Errorf("conn %d: %w", j, err)
 				}
 			}

@@ -35,7 +35,18 @@ func main() {
 	duration := flag.Float64("duration", 0, "wall seconds to serve before draining (0 = until SIGINT)")
 	keep := flag.Int("keep", 16, "closed windows retained per sink for GET /windows")
 	k := flag.Int("k", 10, "k for -pipeline topk")
+	wire := flag.String("wire", "columnar", "newest wire capability to serve: columnar (version 2) | row (version 1 only; columnar clients fall back)")
 	flag.Parse()
+
+	wireVersion := 0 // newest
+	switch *wire {
+	case "columnar":
+	case "row":
+		wireVersion = 1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown wire mode %q (row|columnar)\n", *wire)
+		os.Exit(2)
+	}
 
 	p := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
 	s := p.NetworkSource(streambox.SourceConfig{Name: "net"}).
@@ -66,6 +77,7 @@ func main() {
 			IngestAddr:  *ingest,
 			HTTPAddr:    *httpAddr,
 			KeepWindows: *keep,
+			WireVersion: wireVersion,
 		},
 	})
 	if err != nil {
@@ -105,7 +117,8 @@ func main() {
 	fmt.Printf("ingested:   %d records in %.3f s (%.1f k rec/s)\n",
 		rep.IngestedRecords, rep.WallSeconds, rep.Throughput/1e3)
 	fmt.Printf("results:    %d records, %d windows closed\n", rep.EmittedRecords, rep.WindowsClosed)
-	fmt.Printf("network:    %d dropped records, %d decode errors\n", rep.DroppedRecords, rep.DecodeErrors)
+	fmt.Printf("network:    %d dropped records, %d decode errors, %d checksum errors\n",
+		rep.DroppedRecords, rep.DecodeErrors, rep.ChecksumErrors)
 	if err != nil {
 		os.Exit(1)
 	}

@@ -124,13 +124,23 @@ type Stats struct {
 	// Recycled counts slab requests served from a free list instead of
 	// the Go heap.
 	Recycled int64
-	PeakUsed [2]int64
+	// ColRecycled counts column-slab requests served from a free list.
+	ColRecycled int64
+	PeakUsed    [2]int64
 }
 
 // slabList is one shard of a (tier, class) free list.
 type slabList struct {
 	mu    sync.Mutex
 	slabs [][]algo.Pair
+}
+
+// colList is one shard of a (tier, class) column free list: []uint64
+// slabs backing ingest column batches (the wire→engine zero-copy path),
+// recycled through the same size classes as the pair slabs.
+type colList struct {
+	mu    sync.Mutex
+	slabs [][]uint64
 }
 
 // Pool is a two-tier slab allocator with capacity accounting and
@@ -150,6 +160,11 @@ type Pool struct {
 	recycled atomic.Int64
 	shardRR  atomic.Uint32
 	free     [2][][slabShards]*slabList // [tier][class][shard]
+
+	colFree        [2][][slabShards]*colList // [tier][class][shard]
+	colCached      atomic.Int64              // column slabs sitting in free lists
+	colCachedBytes atomic.Int64              // their total capacity in bytes
+	colRecycled    atomic.Int64              // column requests served from a free list
 }
 
 // New creates a pool with tier capacities from cfg. reservedHBM bytes of
@@ -168,9 +183,11 @@ func New(cfg memsim.Config, reservedHBM int64) *Pool {
 	p.cap[memsim.DRAM] = cfg.Tier(memsim.DRAM).Capacity
 	for t := 0; t < 2; t++ {
 		p.free[t] = make([][slabShards]*slabList, len(sizeClasses))
+		p.colFree[t] = make([][slabShards]*colList, len(sizeClasses))
 		for c := range p.free[t] {
 			for s := 0; s < slabShards; s++ {
 				p.free[t][c][s] = &slabList{}
+				p.colFree[t][c][s] = &colList{}
 			}
 		}
 	}
@@ -191,9 +208,15 @@ func (p *Pool) SetRecycling(on bool) {
 					l.mu.Lock()
 					l.slabs = nil
 					l.mu.Unlock()
+					cl := p.colFree[t][c][s]
+					cl.mu.Lock()
+					cl.slabs = nil
+					cl.mu.Unlock()
 				}
 			}
 		}
+		p.colCached.Store(0)
+		p.colCachedBytes.Store(0)
 	}
 }
 
@@ -215,6 +238,80 @@ func roundUp(n int64) int64 {
 		return sizeClasses[i]
 	}
 	return n
+}
+
+// classFloorIndex returns the index of the largest class <= n bytes, or
+// -1 when n is below the smallest class.
+func classFloorIndex(n int64) int {
+	idx := -1
+	for i, c := range sizeClasses {
+		if c > n {
+			break
+		}
+		idx = i
+	}
+	return idx
+}
+
+// TakeCol returns a []uint64 column slab of length rows for tier t,
+// recycled from the column free lists when a slab of the right class is
+// available, freshly allocated otherwise. Capacity is class-rounded so
+// the slab can be trimmed and reused across frame sizes. Like scratch
+// buffers, column slabs bypass capacity accounting: the batch is
+// charged when the runtime copies it into a bundle, and charging the
+// transient wire-side staging too would double-count every record into
+// spurious backpressure. Recycled slabs hold stale contents — the
+// ingest path overwrites every element before reading (columnar frames
+// by io.ReadFull, row decoders by append).
+func (p *Pool) TakeCol(t memsim.Tier, rows int) []uint64 {
+	bytes := int64(rows) * 8
+	class := classIndex(bytes)
+	if class >= 0 && p.recycle.Load() {
+		start := p.shardRR.Add(1)
+		for i := uint32(0); i < slabShards; i++ {
+			l := p.colFree[t][class][(start+i)%slabShards]
+			l.mu.Lock()
+			if k := len(l.slabs); k > 0 {
+				slab := l.slabs[k-1]
+				l.slabs[k-1] = nil
+				l.slabs = l.slabs[:k-1]
+				l.mu.Unlock()
+				p.colRecycled.Add(1)
+				p.colCached.Add(-1)
+				p.colCachedBytes.Add(-int64(cap(slab)) * 8)
+				return slab[:rows]
+			}
+			l.mu.Unlock()
+		}
+	}
+	words := int64(rows)
+	if class >= 0 {
+		words = sizeClasses[class] / 8
+	}
+	return make([]uint64, words)[:rows]
+}
+
+// PutCol returns a column slab to tier t's free lists. Any capacity is
+// accepted: the slab is trimmed down to the largest class its capacity
+// holds (append-grown buffers land on a class boundary again instead of
+// being thrown away); capacities below the smallest class go back to
+// the garbage collector.
+func (p *Pool) PutCol(t memsim.Tier, col []uint64) {
+	if !p.recycle.Load() {
+		return
+	}
+	class := classFloorIndex(int64(cap(col)) * 8)
+	if class < 0 {
+		return
+	}
+	words := sizeClasses[class] / 8
+	col = col[:0:words]
+	l := p.colFree[t][class][p.shardRR.Add(1)%slabShards]
+	l.mu.Lock()
+	l.slabs = append(l.slabs, col)
+	l.mu.Unlock()
+	p.colCached.Add(1)
+	p.colCachedBytes.Add(words * 8)
 }
 
 // takeSlab returns a pair slab of sizeBytes capacity for (tier, class):
@@ -356,11 +453,12 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		Allocs:   p.allocs,
-		Frees:    p.frees,
-		Failures: p.failures,
-		Recycled: p.recycled.Load(),
-		PeakUsed: p.peak,
+		Allocs:      p.allocs,
+		Frees:       p.frees,
+		Failures:    p.failures,
+		Recycled:    p.recycled.Load(),
+		ColRecycled: p.colRecycled.Load(),
+		PeakUsed:    p.peak,
 	}
 }
 
@@ -379,6 +477,11 @@ type Snapshot struct {
 	Allocs, Frees          int64
 	Failures               int64
 	Recycled               int64
+	// Column-slab pool occupancy: slabs (and their bytes) sitting in
+	// the []uint64 free lists, and requests served from them.
+	ColSlabsCached    int64
+	ColSlabBytesCache int64
+	ColSlabsRecycled  int64
 }
 
 // Snapshot returns a consistent view of capacities, usage and counters
@@ -404,6 +507,9 @@ func (p *Pool) Snapshot() Snapshot {
 	s.Reserved, s.UsedReserved = p.reserved, p.usedReserved
 	s.Allocs, s.Frees, s.Failures = p.allocs, p.frees, p.failures
 	s.Recycled = p.recycled.Load()
+	s.ColSlabsCached = p.colCached.Load()
+	s.ColSlabBytesCache = p.colCachedBytes.Load()
+	s.ColSlabsRecycled = p.colRecycled.Load()
 	return s
 }
 

@@ -236,3 +236,53 @@ func TestConcurrentRecycle(t *testing.T) {
 		t.Error("expected some recycling under churn")
 	}
 }
+
+// TestColSlabReuse pins the column free lists behind the zero-copy
+// ingest path: a returned column slab must be handed out again
+// (pointer identity), class-rounded, with occupancy gauges tracking.
+func TestColSlabReuse(t *testing.T) {
+	p := New(memsim.KNLConfig(), 0)
+
+	col := p.TakeCol(memsim.DRAM, 512) // exactly the 4 KiB class
+	if len(col) != 512 || cap(col) != 512 {
+		t.Fatalf("len %d cap %d, want the full 512-word class", len(col), cap(col))
+	}
+	first := &col[0]
+	p.PutCol(memsim.DRAM, col)
+	s := p.Snapshot()
+	if s.ColSlabsCached != 1 || s.ColSlabBytesCache == 0 {
+		t.Fatalf("occupancy after put: %+v", s)
+	}
+
+	again := p.TakeCol(memsim.DRAM, 100)
+	if &again[0] != first {
+		t.Fatal("column slab not recycled")
+	}
+	if len(again) != 100 {
+		t.Fatalf("recycled slab has len %d, want 100", len(again))
+	}
+	if p.Stats().ColRecycled != 1 {
+		t.Fatalf("ColRecycled %d, want 1", p.Stats().ColRecycled)
+	}
+	s = p.Snapshot()
+	if s.ColSlabsCached != 0 || s.ColSlabBytesCache != 0 {
+		t.Fatalf("occupancy after take: %+v", s)
+	}
+
+	// Foreign capacities are trimmed to the class floor; tiny ones drop.
+	p.PutCol(memsim.DRAM, make([]uint64, 700)) // floor class 4 KiB
+	if got := p.TakeCol(memsim.DRAM, 512); cap(got) != 512 {
+		t.Fatalf("floored slab cap %d, want 512 words", cap(got))
+	}
+	p.PutCol(memsim.DRAM, make([]uint64, 10)) // below the smallest class
+	if n := p.Snapshot().ColSlabsCached; n != 0 {
+		t.Fatalf("sub-class slab cached (%d)", n)
+	}
+
+	// Disabling recycling empties the column lists too.
+	p.PutCol(memsim.DRAM, p.TakeCol(memsim.DRAM, 512))
+	p.SetRecycling(false)
+	if s := p.Snapshot(); s.ColSlabsCached != 0 || s.ColSlabBytesCache != 0 {
+		t.Fatalf("occupancy survived SetRecycling(false): %+v", s)
+	}
+}

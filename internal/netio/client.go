@@ -2,6 +2,7 @@ package netio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,11 +13,20 @@ import (
 	"streambox/internal/parsefmt"
 )
 
+// defaultFrameRecords is the records-per-frame default shared by the
+// client and the feed's row-path column sizing.
+const defaultFrameRecords = 512
+
 // ClientConfig configures a Dial.
 type ClientConfig struct {
 	// Format selects the payload encoding (default JSON, the zero
-	// value; loadgen defaults to PB).
+	// value; loadgen defaults to PB). Columnar needs a wire-version-2
+	// server; against an older one Dial falls back to PB on a fresh
+	// connection unless NoFallback is set.
 	Format parsefmt.Format
+	// NoFallback makes Dial fail, rather than retry with PB, when the
+	// server rejects the columnar format.
+	NoFallback bool
 	// FrameRecords is the number of records per frame (0 picks 512).
 	FrameRecords int
 	// DialTimeout bounds connection establishment and the handshake
@@ -26,27 +36,48 @@ type ClientConfig struct {
 
 // Client is one ingest connection: it frames and encodes records,
 // respecting the server's credit window — Send blocks while the server
-// withholds credits (engine backpressure).
+// withholds credits (engine backpressure). A columnar client builds
+// column-major frames directly; SendColumns streams column buffers to
+// the wire without materializing records at all.
 type Client struct {
-	conn   net.Conn
-	bw     *bufio.Writer
-	format parsefmt.Format
-	frame  int
+	conn    net.Conn
+	bw      *bufio.Writer
+	format  parsefmt.Format
+	version byte
+	frame   int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	credits int
 	readErr error
 
+	// chunk and scatter are reusable staging for the columnar send
+	// path: chunk holds per-frame column views, scatter the columns
+	// Send scatters records into.
+	chunk   [][]uint64
+	scatter [][]uint64
+
 	sent   atomic.Int64
 	frames atomic.Int64
 	done   chan struct{}
 }
 
-// Dial connects and handshakes with an ingest server.
+// Dial connects and handshakes with an ingest server. A columnar dial
+// rejected by a row-only (wire version 1) server is retried once with
+// the PB format unless cfg.NoFallback is set; check Format on the
+// returned client for the format actually negotiated.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	c, err := dialOnce(addr, cfg)
+	if err != nil && errors.Is(err, errFormatRejected) && cfg.Format == parsefmt.Columnar && !cfg.NoFallback {
+		cfg.Format = parsefmt.PB
+		return dialOnce(addr, cfg)
+	}
+	return c, err
+}
+
+func dialOnce(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.FrameRecords <= 0 {
-		cfg.FrameRecords = 512
+		cfg.FrameRecords = defaultFrameRecords
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
@@ -59,11 +90,11 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		tc.SetNoDelay(true)
 	}
 	conn.SetDeadline(time.Now().Add(cfg.DialTimeout))
-	if err := writeHello(conn, cfg.Format); err != nil {
+	if err := writeHello(conn, cfg.Format, helloVersionFor(cfg.Format)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("netio: hello: %w", err)
 	}
-	credits, err := readAck(conn)
+	credits, version, err := readAck(conn)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -71,8 +102,9 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	conn.SetDeadline(time.Time{})
 	c := &Client{
 		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, writeBufSize(cfg)),
 		format:  cfg.Format,
+		version: version,
 		frame:   cfg.FrameRecords,
 		credits: credits,
 		done:    make(chan struct{}),
@@ -81,6 +113,26 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	go c.creditLoop()
 	return c, nil
 }
+
+// writeBufSize sizes the send buffer: row formats batch fine at 64 KiB;
+// columnar sizes to roughly one frame so a frame flushes in few writes.
+func writeBufSize(cfg ClientConfig) int {
+	size := 64 << 10
+	if cfg.Format == parsefmt.Columnar {
+		size = cfg.FrameRecords*7*8 + 64
+	}
+	if size < 64<<10 {
+		size = 64 << 10
+	}
+	if size > 1<<20 {
+		size = 1 << 20
+	}
+	return size
+}
+
+// Format returns the payload format negotiated at dial time (PB when a
+// columnar dial fell back).
+func (c *Client) Format() parsefmt.Format { return c.format }
 
 // creditLoop consumes the server's credit grants.
 func (c *Client) creditLoop() {
@@ -120,8 +172,14 @@ func (c *Client) takeCredit() error {
 }
 
 // Send frames and transmits records, splitting them into frames of the
-// configured size. It blocks while the server withholds credits.
+// configured size. It blocks while the server withholds credits. On a
+// columnar connection the records are scattered into column staging
+// first; callers holding column data should prefer SendColumns, which
+// skips record materialization entirely.
 func (c *Client) Send(recs []parsefmt.Record) error {
+	if c.format == parsefmt.Columnar {
+		return c.SendColumns(c.scatterRecords(recs))
+	}
 	for len(recs) > 0 {
 		n := c.frame
 		if n > len(recs) {
@@ -140,6 +198,72 @@ func (c *Client) Send(recs []parsefmt.Record) error {
 		c.sent.Add(int64(n))
 		c.frames.Add(1)
 		recs = recs[n:]
+	}
+	return nil
+}
+
+// scatterRecords transposes records into the client's reusable column
+// staging.
+func (c *Client) scatterRecords(recs []parsefmt.Record) [][]uint64 {
+	if c.scatter == nil {
+		c.scatter = make([][]uint64, 7)
+	}
+	for i := range c.scatter {
+		if cap(c.scatter[i]) < len(recs) {
+			c.scatter[i] = make([]uint64, len(recs))
+		}
+		c.scatter[i] = c.scatter[i][:len(recs)]
+	}
+	for r, rec := range recs {
+		rc := rec.Cols()
+		for i := range c.scatter {
+			c.scatter[i][r] = rc[i]
+		}
+	}
+	return c.scatter
+}
+
+// SendColumns frames and transmits a column-major batch over a columnar
+// connection, splitting the rows into frames of the configured size.
+// The column slices are written to the wire directly — on little-endian
+// hosts without any re-encoding. It blocks while the server withholds
+// credits.
+func (c *Client) SendColumns(cols [][]uint64) error {
+	if c.format != parsefmt.Columnar {
+		return fmt.Errorf("netio: SendColumns on a %v connection", c.format)
+	}
+	if len(cols) == 0 || len(cols[0]) == 0 {
+		return nil
+	}
+	nrows := len(cols[0])
+	for _, col := range cols[1:] {
+		if len(col) != nrows {
+			return fmt.Errorf("netio: ragged columns (%d vs %d rows)", len(col), nrows)
+		}
+	}
+	if cap(c.chunk) < len(cols) {
+		c.chunk = make([][]uint64, len(cols))
+	}
+	chunk := c.chunk[:len(cols)]
+	for lo := 0; lo < nrows; lo += c.frame {
+		hi := lo + c.frame
+		if hi > nrows {
+			hi = nrows
+		}
+		for i := range cols {
+			chunk[i] = cols[i][lo:hi]
+		}
+		if err := c.takeCredit(); err != nil {
+			return err
+		}
+		if err := writeColumnarFrame(c.bw, chunk); err != nil {
+			return fmt.Errorf("netio: send: %w", err)
+		}
+		if err := c.bw.Flush(); err != nil {
+			return fmt.Errorf("netio: send: %w", err)
+		}
+		c.sent.Add(int64(hi - lo))
+		c.frames.Add(1)
 	}
 	return nil
 }

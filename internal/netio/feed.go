@@ -2,10 +2,18 @@ package netio
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streambox/internal/bundle"
+	"streambox/internal/mempool"
+	"streambox/internal/memsim"
 )
+
+// colTier is the memory tier ingest column batches stage through. Wire
+// batches are DRAM-resident until the runtime copies them into bundles;
+// HBM stays dedicated to the compute-side KPAs.
+const colTier = memsim.DRAM
 
 // batch is one decoded frame flowing from a connection handler to the
 // runtime, or a sentinel retiring a connection's watermark cursor.
@@ -27,6 +35,12 @@ type batch struct {
 // delivered all its records for that window, which makes multi-client
 // runs produce exactly the results of the equivalent single-generator
 // run.
+//
+// Column memory has one owner: the engine's mempool (attached via
+// UsePool). Handlers borrow column slabs here, the runtime returns them
+// through Recycle, and /metrics reports the pool's column-slab
+// occupancy alongside every other engine buffer. Only the [][]uint64
+// headers cycle through a sync.Pool.
 type Feed struct {
 	schema bundle.Schema
 	ch     chan batch
@@ -36,10 +50,14 @@ type Feed struct {
 	cursors map[int64]uint64
 	highTs  uint64 // max delivered timestamp ever (watermark once all conns retire)
 
-	// colPool recycles batch column buffers between the runtime (which
-	// returns them via Recycle once a bundle holds the data) and the
-	// connection handlers' frame decoders.
-	colPool sync.Pool
+	// pool owns the column slabs behind every batch. Until UsePool
+	// attaches one (standalone feeds in tests), columns fall back to
+	// plain make and Recycle keeps them on the header for append reuse.
+	pool atomic.Pointer[mempool.Pool]
+
+	// headers recycles the [][]uint64 batch headers only — never column
+	// memory, which the mempool owns.
+	headers sync.Pool
 }
 
 // NewFeed creates a feed buffering up to buffer batches (0 picks 64).
@@ -54,6 +72,12 @@ func NewFeed(schema bundle.Schema, buffer int) *Feed {
 		cursors: make(map[int64]uint64),
 	}
 }
+
+// UsePool hands the feed the engine's slab allocator as the owner of
+// all column memory. Call before ingest traffic starts (Serve attaches
+// the runtime's pool between starting the execution and opening the
+// listener).
+func (f *Feed) UsePool(p *mempool.Pool) { f.pool.Store(p) }
 
 // Schema implements runtime.ExternalFeed.
 func (f *Feed) Schema() bundle.Schema { return f.schema }
@@ -155,21 +179,74 @@ func (f *Feed) Recv(maxWait time.Duration) ([][]uint64, bool, bool) {
 }
 
 // Recycle implements runtime.BatchRecycler: the runtime hands back a
-// batch's column buffers after copying them into a bundle, and the
-// decoders refill them for later frames instead of allocating anew.
+// batch's column buffers after copying them into a bundle. Column slabs
+// return to the mempool's column free lists; the bare header joins the
+// header pool. Without an attached pool, columns stay on the header,
+// truncated, for append reuse.
 func (f *Feed) Recycle(cols [][]uint64) {
 	if len(cols) != f.schema.NumCols {
 		return
 	}
-	for i := range cols {
-		cols[i] = cols[i][:0]
+	if p := f.pool.Load(); p != nil {
+		for i := range cols {
+			p.PutCol(colTier, cols[i])
+			cols[i] = nil
+		}
+	} else {
+		for i := range cols {
+			cols[i] = cols[i][:0]
+		}
 	}
-	f.colPool.Put(&cols)
+	f.headers.Put(&cols)
 }
 
-// getCols returns an empty column-major batch, recycled when possible.
+// getCols returns an empty column-major batch for the row-format append
+// decoders: a recycled header whose columns have length zero. With a
+// pool attached, each column is a pooled slab sized for a typical frame
+// so steady-state appends stay within recycled capacity.
 func (f *Feed) getCols() [][]uint64 {
-	if v := f.colPool.Get(); v != nil {
+	cols := f.getHeader()
+	p := f.pool.Load()
+	for i := range cols {
+		if cols[i] == nil {
+			if p != nil {
+				cols[i] = p.TakeCol(colTier, defaultFrameRecords)
+			} else {
+				cols[i] = make([]uint64, 0)
+			}
+		}
+		cols[i] = cols[i][:0]
+	}
+	return cols
+}
+
+// borrowCols returns a batch of exact-length columns for the columnar
+// receive path: frame payload bytes are read straight into these slabs.
+// Recycled slabs hold stale contents; the caller overwrites every
+// element (io.ReadFull fills each column completely).
+func (f *Feed) borrowCols(rows int) [][]uint64 {
+	cols := f.getHeader()
+	p := f.pool.Load()
+	for i := range cols {
+		switch {
+		case p != nil:
+			if cols[i] != nil {
+				p.PutCol(colTier, cols[i])
+			}
+			cols[i] = p.TakeCol(colTier, rows)
+		case cap(cols[i]) >= rows:
+			cols[i] = cols[i][:rows]
+		default:
+			cols[i] = make([]uint64, rows)
+		}
+	}
+	return cols
+}
+
+// getHeader returns a schema-width batch header; entries may be nil or
+// carry leftover fallback columns.
+func (f *Feed) getHeader() [][]uint64 {
+	if v := f.headers.Get(); v != nil {
 		return *v.(*[][]uint64)
 	}
 	return make([][]uint64, f.schema.NumCols)

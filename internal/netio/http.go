@@ -18,6 +18,11 @@ type Metrics struct {
 	MemUtilization       [2]float64
 	Allocs, Frees        int64
 	AllocFailures        int64
+	// Column-slab pool occupancy: the mempool's []uint64 free lists
+	// backing the zero-copy ingest path.
+	ColSlabsCached    int64
+	ColSlabBytesCache int64
+	ColSlabsRecycled  int64
 	// Per-tier live grouped window-state bytes (sorted runs + merge
 	// intermediates), indexed like the mempool tiers. Pane sharing is
 	// what keeps the sliding-window figure ~overlap× below the
@@ -66,6 +71,9 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	gauge("streambox_mempool_allocs_total", "", m.Allocs)
 	gauge("streambox_mempool_frees_total", "", m.Frees)
 	gauge("streambox_mempool_alloc_failures_total", "", m.AllocFailures)
+	gauge("streambox_mempool_colslabs_cached", "", m.ColSlabsCached)
+	gauge("streambox_mempool_colslab_cached_bytes", "", m.ColSlabBytesCache)
+	gauge("streambox_mempool_colslabs_recycled_total", "", m.ColSlabsRecycled)
 	gauge("streambox_knob_k_low", "", m.KLow)
 	gauge("streambox_knob_k_high", "", m.KHigh)
 	for p, name := range priorityNames {
@@ -80,12 +88,18 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	gauge("streambox_ingest_records_total", "", m.Ingest.IngestedRecords)
 	gauge("streambox_ingest_dropped_records_total", "", m.Ingest.DroppedRecords)
 	gauge("streambox_ingest_decode_errors_total", "", m.Ingest.DecodeErrors)
+	gauge("streambox_ingest_checksum_errors_total", "", m.Ingest.ChecksumErrors)
+	for f, n := range m.Ingest.FramesByFormat {
+		gauge("streambox_ingest_format_frames_total", `format="`+formatLabel[f]+`"`, n)
+	}
 	for _, c := range m.PerConn {
 		l := fmt.Sprintf(`conn="%d",remote=%q,format=%q`, c.ID, c.Remote, c.Format)
 		gauge("streambox_conn_frames_total", l, c.Frames)
 		gauge("streambox_conn_records_total", l, c.IngestedRecords)
 		gauge("streambox_conn_dropped_records_total", l, c.DroppedRecords)
 		gauge("streambox_conn_decode_errors_total", l, c.DecodeErrors)
+		gauge("streambox_conn_checksum_errors_total", l, c.ChecksumErrors)
+		gauge("streambox_conn_credit_window", l, c.CreditWindow)
 	}
 }
 

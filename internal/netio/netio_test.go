@@ -3,6 +3,9 @@ package netio
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
@@ -10,6 +13,7 @@ import (
 	"time"
 
 	"streambox/internal/bundle"
+	"streambox/internal/mempool"
 	"streambox/internal/memsim"
 	"streambox/internal/parsefmt"
 )
@@ -18,19 +22,26 @@ import (
 
 func TestWireRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeHello(&buf, parsefmt.PB); err != nil {
+	if err := writeHello(&buf, parsefmt.PB, 1); err != nil {
 		t.Fatal(err)
 	}
-	f, status, err := readHello(&buf)
-	if err != nil || status != statusOK || f != parsefmt.PB {
-		t.Fatalf("hello round trip: %v %d %v", f, status, err)
+	f, version, status, err := readHello(&buf, Version)
+	if err != nil || status != statusOK || f != parsefmt.PB || version != 1 {
+		t.Fatalf("hello round trip: %v v%d %d %v", f, version, status, err)
 	}
 
 	buf.Reset()
-	writeAck(&buf, statusOK, 37)
-	credits, err := readAck(&buf)
-	if err != nil || credits != 37 {
-		t.Fatalf("ack round trip: %d %v", credits, err)
+	writeHello(&buf, parsefmt.Columnar, Version)
+	f, version, status, err = readHello(&buf, Version)
+	if err != nil || status != statusOK || f != parsefmt.Columnar || version != Version {
+		t.Fatalf("columnar hello round trip: %v v%d %d %v", f, version, status, err)
+	}
+
+	buf.Reset()
+	writeAck(&buf, 1, statusOK, 37)
+	credits, version, err := readAck(&buf)
+	if err != nil || credits != 37 || version != 1 {
+		t.Fatalf("ack round trip: %d v%d %v", credits, version, err)
 	}
 
 	buf.Reset()
@@ -53,16 +64,53 @@ func TestWireRoundTrip(t *testing.T) {
 }
 
 func TestWireRejectsBadHandshake(t *testing.T) {
-	if _, status, err := readHello(strings.NewReader("XXXX\x01\x00\x00\x00")); err == nil || status != statusBadMagic {
+	if _, _, status, err := readHello(strings.NewReader("XXXX\x01\x00\x00\x00"), Version); err == nil || status != statusBadMagic {
 		t.Fatalf("bad magic accepted (status %d)", status)
 	}
-	if _, status, err := readHello(strings.NewReader("SBX1\x01\x09\x00\x00")); err == nil || status != statusBadFormat {
+	if _, _, status, err := readHello(strings.NewReader("SBX1\x09\x00\x00\x00"), Version); err == nil || status != statusBadMagic {
+		t.Fatalf("future version accepted (status %d)", status)
+	}
+	if _, _, status, err := readHello(strings.NewReader("SBX1\x01\x09\x00\x00"), Version); err == nil || status != statusBadFormat {
 		t.Fatalf("bad format accepted (status %d)", status)
 	}
+	// A version-1 hello cannot carry the columnar format…
+	if _, version, status, err := readHello(strings.NewReader("SBX1\x01\x03\x00\x00"), Version); err == nil || status != statusBadFormat || version != 1 {
+		t.Fatalf("columnar-on-v1 accepted (status %d, v%d)", status, version)
+	}
+	// …and neither can a version-2 hello against a version-1 server.
+	if _, version, status, err := readHello(strings.NewReader("SBX1\x02\x03\x00\x00"), 1); err == nil || status != statusBadFormat || version != 1 {
+		t.Fatalf("columnar against v1 server accepted (status %d, v%d)", status, version)
+	}
 	var buf bytes.Buffer
-	writeAck(&buf, statusBadFormat, 0)
-	if _, err := readAck(&buf); err == nil {
-		t.Fatal("rejection ack read as success")
+	writeAck(&buf, 1, statusBadFormat, 0)
+	if _, _, err := readAck(&buf); !errors.Is(err, errFormatRejected) {
+		t.Fatalf("rejection ack: %v, want errFormatRejected", err)
+	}
+	buf.Reset()
+	writeAck(&buf, 1, statusBadMagic, 0)
+	if _, _, err := readAck(&buf); err == nil || errors.Is(err, errFormatRejected) {
+		t.Fatalf("bad-magic ack: %v, want a non-format error", err)
+	}
+}
+
+// TestHelloV1BitCompat pins the version-1 exchange byte for byte: a v2
+// server must answer a v1 hello with exactly the ack a v1 server wrote,
+// and v1 clients (helloVersionFor row formats) must still emit the v1
+// hello bytes.
+func TestHelloV1BitCompat(t *testing.T) {
+	var hello bytes.Buffer
+	writeHello(&hello, parsefmt.PB, helloVersionFor(parsefmt.PB))
+	if got, want := hello.Bytes(), []byte("SBX1\x01\x01\x00\x00"); !bytes.Equal(got, want) {
+		t.Fatalf("row hello bytes % x, want % x", got, want)
+	}
+	f, version, status, err := readHello(bytes.NewReader(hello.Bytes()), Version)
+	if err != nil || status != statusOK || f != parsefmt.PB || version != 1 {
+		t.Fatalf("v2 server on v1 hello: %v v%d %d %v", f, version, status, err)
+	}
+	var ack bytes.Buffer
+	writeAck(&ack, version, statusOK, 16)
+	if got, want := ack.Bytes(), []byte("SBXA\x01\x00\x00\x10"); !bytes.Equal(got, want) {
+		t.Fatalf("ack to v1 client % x, want the v1 bytes % x", got, want)
 	}
 }
 
@@ -132,7 +180,7 @@ func collect(f *Feed) (*atomic.Int64, chan struct{}) {
 }
 
 func TestServerClientLoopback(t *testing.T) {
-	for _, format := range []parsefmt.Format{parsefmt.JSON, parsefmt.PB, parsefmt.Text} {
+	for _, format := range []parsefmt.Format{parsefmt.JSON, parsefmt.PB, parsefmt.Text, parsefmt.Columnar} {
 		feed := NewFeed(WireSchema(), 8)
 		srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed})
 		if err != nil {
@@ -159,12 +207,280 @@ func TestServerClientLoopback(t *testing.T) {
 			t.Fatalf("%v: feed received %d records, want %d", format, n, total)
 		}
 		ctr := srv.Counters()
-		if ctr.IngestedRecords != total || ctr.DecodeErrors != 0 || ctr.DroppedRecords != 0 {
+		if ctr.IngestedRecords != total || ctr.DecodeErrors != 0 || ctr.DroppedRecords != 0 || ctr.ChecksumErrors != 0 {
 			t.Fatalf("%v: counters %+v", format, ctr)
 		}
 		if ctr.Conns != 1 || ctr.ActiveConns != 0 {
 			t.Fatalf("%v: connection counters %+v", format, ctr)
 		}
+		if ctr.FramesByFormat[format] != ctr.Frames {
+			t.Fatalf("%v: %d of %d frames attributed to the format", format, ctr.FramesByFormat[format], ctr.Frames)
+		}
+	}
+}
+
+// TestColumnarLoopbackSendColumns drives the column-native send path —
+// no record materialization on either side — with the feed drawing its
+// column slabs from a mempool, and checks the batches and the slab
+// recycling both flow.
+func TestColumnarLoopbackSendColumns(t *testing.T) {
+	feed := NewFeed(WireSchema(), 8)
+	pool := mempool.New(memsim.KNLConfig(), 0)
+	feed.UsePool(pool)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain with recycling, as the runtime does.
+	var got atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			cols, ok, _ := feed.Recv(0)
+			if !ok {
+				return
+			}
+			got.Add(int64(len(cols[0])))
+			feed.Recycle(cols)
+		}
+	}()
+
+	gen := RecordGen{Keys: 16, WindowRecords: 100}
+	c, err := Dial(srv.Addr().String(), ClientConfig{Format: parsefmt.Columnar, FrameRecords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 1000
+	cols := make([][]uint64, 7)
+	for i := range cols {
+		cols[i] = make([]uint64, total)
+	}
+	for i := uint64(0); i < total; i++ {
+		rc := gen.ColsAt(i)
+		for k := range cols {
+			cols[k][i] = rc[k]
+		}
+	}
+	if err := c.SendColumns(cols); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	<-done
+
+	if n := got.Load(); n != total {
+		t.Fatalf("feed received %d records, want %d", n, total)
+	}
+	if n := pool.Stats().ColRecycled; n == 0 {
+		t.Fatal("no column slab was recycled through the mempool")
+	}
+	if s := pool.Snapshot(); s.ColSlabsCached == 0 || s.ColSlabBytesCache == 0 {
+		t.Fatalf("column free lists empty after the run: %+v", s)
+	}
+}
+
+// TestColumnarFallback covers a v2 client against a row-only server:
+// Dial must retry with PB transparently, and NoFallback must surface
+// the rejection instead.
+func TestColumnarFallback(t *testing.T) {
+	feed := NewFeed(WireSchema(), 8)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed, MaxVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, done := collect(feed)
+
+	if _, err := Dial(srv.Addr().String(), ClientConfig{Format: parsefmt.Columnar, NoFallback: true}); !errors.Is(err, errFormatRejected) {
+		t.Fatalf("NoFallback dial: %v, want errFormatRejected", err)
+	}
+
+	c, err := Dial(srv.Addr().String(), ClientConfig{Format: parsefmt.Columnar, FrameRecords: 64})
+	if err != nil {
+		t.Fatalf("fallback dial: %v", err)
+	}
+	if c.Format() != parsefmt.PB {
+		t.Fatalf("fallback format %v, want PB", c.Format())
+	}
+	gen := RecordGen{Keys: 16, WindowRecords: 100}
+	if err := c.Send(gen.Records(0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+	<-done
+	if n := got.Load(); n != 200 {
+		t.Fatalf("ingested %d records through the fallback, want 200", n)
+	}
+}
+
+// TestServerRejectsOversizedFrame: a frame declaring more bytes than
+// MaxFrameBytes is a decode error and severs the connection, for both
+// the row and the columnar receive loops.
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	for _, format := range []parsefmt.Format{parsefmt.PB, parsefmt.Columnar} {
+		feed := NewFeed(WireSchema(), 8)
+		srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed, MaxFrameBytes: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, done := collect(feed)
+
+		c, err := Dial(srv.Addr().String(), ClientConfig{Format: format})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.takeCredit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(c.bw, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		c.bw.Flush()
+		c.Close()
+		srv.Close()
+		<-done
+		if n := srv.Counters().DecodeErrors; n != 1 {
+			t.Fatalf("%v: decode errors %d, want 1", format, n)
+		}
+	}
+}
+
+// TestColumnarChecksumAndGeometryErrors: a corrupted checksum and a
+// malformed header are counted in their own buckets, neither kills the
+// connection, and clean frames around them still flow.
+func TestColumnarChecksumAndGeometryErrors(t *testing.T) {
+	feed := NewFeed(WireSchema(), 8)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, done := collect(feed)
+
+	c, err := Dial(srv.Addr().String(), ClientConfig{Format: parsefmt.Columnar, FrameRecords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := RecordGen{Keys: 16, WindowRecords: 100}
+	cols := make([][]uint64, 7)
+	for i := range cols {
+		cols[i] = make([]uint64, 10)
+	}
+	for i := uint64(0); i < 10; i++ {
+		rc := gen.ColsAt(i)
+		for k := range cols {
+			cols[k][i] = rc[k]
+		}
+	}
+
+	// Frame 1: flipped checksum byte.
+	bad := parsefmt.EncodeColumnarFrame(cols)
+	bad[16] ^= 0xFF
+	if err := c.takeCredit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(c.bw, bad); err != nil {
+		t.Fatal(err)
+	}
+	// Frame 2: wrong column count for the wire schema.
+	badCols := parsefmt.EncodeColumnarFrame(cols[:5])
+	if err := c.takeCredit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(c.bw, badCols); err != nil {
+		t.Fatal(err)
+	}
+	c.bw.Flush()
+	// Frame 3: a clean one, proving the connection survived.
+	if err := c.SendColumns(cols); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+	<-done
+
+	ctr := srv.Counters()
+	if ctr.ChecksumErrors != 1 {
+		t.Fatalf("checksum errors %d, want 1 (counters %+v)", ctr.ChecksumErrors, ctr)
+	}
+	if ctr.DecodeErrors != 1 {
+		t.Fatalf("decode errors %d, want 1 (counters %+v)", ctr.DecodeErrors, ctr)
+	}
+	if n := got.Load(); n != 10 {
+		t.Fatalf("ingested %d records, want the 10 from the clean frame", n)
+	}
+}
+
+// TestConnCountersExposeCreditWindow: the per-connection snapshot
+// reports the in-flight credit window while a connection is live.
+func TestConnCountersExposeCreditWindow(t *testing.T) {
+	feed := NewFeed(WireSchema(), 8)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed, FrameCredits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := collect(feed)
+
+	c, err := Dial(srv.Addr().String(), ClientConfig{Format: parsefmt.PB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pc := srv.ConnCounters()
+		if len(pc) == 1 && pc[0].CreditWindow == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("per-conn counters never showed the idle credit window: %+v", pc)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	srv.Close()
+	<-done
+}
+
+// TestHelloAckOverWire exercises the rejection acks end to end: bad
+// magic and bad format both come back as explicit statuses on the
+// socket, not just dropped connections.
+func TestHelloAckOverWire(t *testing.T) {
+	feed := NewFeed(WireSchema(), 8)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rawAck := func(hello []byte) [8]byte {
+		t.Helper()
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(hello); err != nil {
+			t.Fatal(err)
+		}
+		var ack [8]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+
+	if ack := rawAck([]byte("XXXX\x01\x00\x00\x00")); ack[5] != statusBadMagic {
+		t.Fatalf("bad magic acked with status %d, want %d", ack[5], statusBadMagic)
+	}
+	if ack := rawAck([]byte("SBX1\x01\x09\x00\x00")); ack[5] != statusBadFormat {
+		t.Fatalf("bad format acked with status %d, want %d", ack[5], statusBadFormat)
+	}
+	// Columnar on a v1 hello: format rejection, acked at version 1.
+	if ack := rawAck([]byte("SBX1\x01\x03\x00\x00")); ack[5] != statusBadFormat || ack[4] != 1 {
+		t.Fatalf("columnar-on-v1 acked with status %d v%d, want %d v1", ack[5], ack[4], statusBadFormat)
 	}
 }
 

@@ -60,8 +60,10 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// At returns record i of the stream.
-func (g RecordGen) At(i uint64) parsefmt.Record {
+// ColsAt returns record i of the stream in column order — the columnar
+// send path's primitive, filling column buffers without materializing a
+// Record.
+func (g RecordGen) ColsAt(i uint64) [7]uint64 {
 	g = g.withDefaults()
 	// Per-window decomposition avoids overflow for very long streams.
 	ts := i/g.WindowRecords*WindowTicks + i%g.WindowRecords*WindowTicks/g.WindowRecords
@@ -72,14 +74,20 @@ func (g RecordGen) At(i uint64) parsefmt.Record {
 	if g.ValueRange > 0 {
 		val = splitmix64(g.Seed^(i+0x51ED2701)) % g.ValueRange
 	}
+	return [7]uint64{key, key % 10, i % 4, val, i % 1000, 0x0A000000 + i%65536, ts}
+}
+
+// At returns record i of the stream.
+func (g RecordGen) At(i uint64) parsefmt.Record {
+	c := g.ColsAt(i)
 	return parsefmt.Record{
-		AdID:      key,
-		AdType:    key % 10,
-		EventType: i % 4,
-		UserID:    val,
-		PageID:    i % 1000,
-		IP:        0x0A000000 + i%65536,
-		EventTime: ts,
+		AdID:      c[0],
+		AdType:    c[1],
+		EventType: c[2],
+		UserID:    c[3],
+		PageID:    c[4],
+		IP:        c[5],
+		EventTime: c[6],
 	}
 }
 
@@ -112,7 +120,7 @@ func (s *StreamGen) Schema() bundle.Schema { return WireSchema() }
 // the engine-proposed [tsLo, tsHi) range.
 func (s *StreamGen) Fill(bd *bundle.Builder, n int, _, _ uint64) {
 	for i := 0; i < n; i++ {
-		c := s.g.At(s.next).Cols()
+		c := s.g.ColsAt(s.next)
 		bd.Append(c[:]...)
 		s.next++
 	}

@@ -3,10 +3,13 @@ package netio
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
+	goruntime "runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -14,6 +17,12 @@ import (
 
 	"streambox/internal/parsefmt"
 )
+
+// rowPipelineDepth is the number of frame buffers cycling between a row
+// connection's read loop and its decode goroutine: enough to overlap
+// socket reads with decoding, small enough that per-connection memory
+// stays bounded by depth × MaxFrameBytes.
+const rowPipelineDepth = 2
 
 // ServerConfig configures an ingest listener.
 type ServerConfig struct {
@@ -27,6 +36,15 @@ type ServerConfig struct {
 	FrameCredits int
 	// MaxFrameBytes caps one frame's payload (0 picks 4 MiB).
 	MaxFrameBytes int
+	// MaxVersion caps the negotiated wire version (0 picks Version).
+	// Setting 1 serves row-format clients only; columnar hellos are
+	// acked with a format rejection and fall back.
+	MaxVersion int
+	// DecodeWorkers bounds the row-format decode goroutines running
+	// concurrently across all connections (0 picks GOMAXPROCS), so a
+	// connection flood cannot oversubscribe the cores the engine's own
+	// workers need. Columnar frames bypass the decoders entirely.
+	DecodeWorkers int
 	// Overloaded, when non-nil, reports engine backpressure: while it
 	// returns true the server withholds credit grants, so clients stall
 	// instead of the server buffering unboundedly. The serving layer
@@ -42,16 +60,22 @@ type Counters struct {
 	// Conns counts accepted connections; ActiveConns is the current
 	// number still open.
 	Conns, ActiveConns int64
-	// Frames counts data frames received.
-	Frames int64
+	// Frames counts data frames received; FramesByFormat splits the
+	// count by wire format code.
+	Frames         int64
+	FramesByFormat [4]int64
 	// IngestedRecords counts records decoded and delivered to the feed.
 	IngestedRecords int64
 	// DroppedRecords counts records decoded but discarded because the
 	// pipeline was draining (listener closed mid-stream).
 	DroppedRecords int64
-	// DecodeErrors counts frames whose payload failed to decode; the
-	// frame's remaining bytes are dropped.
-	DecodeErrors int64
+	// DecodeErrors counts frames whose payload failed to decode
+	// (malformed bytes, bad columnar geometry, oversized frames);
+	// ChecksumErrors separately counts columnar frames whose payload
+	// parsed but failed checksum verification — corruption in transit
+	// rather than a confused or hostile sender.
+	DecodeErrors   int64
+	ChecksumErrors int64
 }
 
 // ConnCounters is one connection's view for /metrics.
@@ -63,18 +87,26 @@ type ConnCounters struct {
 	IngestedRecords int64
 	DroppedRecords  int64
 	DecodeErrors    int64
+	ChecksumErrors  int64
+	// CreditWindow is the connection's in-flight flow-control window:
+	// credits granted minus frames consumed — how many frames the
+	// client may still send before blocking.
+	CreditWindow int64
 }
 
 // serverConn is one accepted connection's state.
 type serverConn struct {
-	id     int64
-	conn   net.Conn
-	format parsefmt.Format
+	id      int64
+	conn    net.Conn
+	format  parsefmt.Format
+	version byte
 
 	frames   atomic.Int64
 	ingested atomic.Int64
 	dropped  atomic.Int64
 	decErrs  atomic.Int64
+	chkErrs  atomic.Int64
+	granted  atomic.Int64
 }
 
 // Server is the TCP ingest listener: per-connection framed decoding,
@@ -82,6 +114,9 @@ type serverConn struct {
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
+
+	// decodeSem bounds concurrent row-format decode work server-wide.
+	decodeSem chan struct{}
 
 	mu      sync.Mutex
 	conns   map[int64]*serverConn
@@ -92,11 +127,18 @@ type Server struct {
 	closing atomic.Bool
 	closed  sync.Once
 
-	accepted atomic.Int64
-	frames   atomic.Int64
-	ingested atomic.Int64
-	dropped  atomic.Int64
-	decErrs  atomic.Int64
+	accepted    atomic.Int64
+	frames      atomic.Int64
+	framesByFmt [4]atomic.Int64
+	ingested    atomic.Int64
+	dropped     atomic.Int64
+	decErrs     atomic.Int64
+	chkErrs     atomic.Int64
+
+	// frameLog2 tracks, per format, the log2 of the largest frame seen —
+	// a one-word histogram summary that sizes new connections' buffered
+	// readers to batch socket reads around real traffic.
+	frameLog2 [4]atomic.Int32
 }
 
 // Listen starts an ingest server on addr (e.g. ":7077" or
@@ -120,6 +162,12 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.MaxFrameBytes <= 0 {
 		cfg.MaxFrameBytes = DefaultMaxFrameBytes
 	}
+	if cfg.MaxVersion <= 0 || cfg.MaxVersion > Version {
+		cfg.MaxVersion = Version
+	}
+	if cfg.DecodeWorkers <= 0 {
+		cfg.DecodeWorkers = goruntime.GOMAXPROCS(0)
+	}
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
@@ -127,7 +175,13 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, ln: ln, conns: make(map[int64]*serverConn), pending: make(map[net.Conn]struct{})}
+	s := &Server{
+		cfg:       cfg,
+		ln:        ln,
+		decodeSem: make(chan struct{}, cfg.DecodeWorkers),
+		conns:     make(map[int64]*serverConn),
+		pending:   make(map[net.Conn]struct{}),
+	}
 	for i := 0; i < cfg.AcceptShards; i++ {
 		s.wg.Add(1)
 		go s.acceptLoop()
@@ -165,14 +219,19 @@ func (s *Server) Counters() Counters {
 	s.mu.Lock()
 	active := int64(len(s.conns))
 	s.mu.Unlock()
-	return Counters{
+	c := Counters{
 		Conns:           s.accepted.Load(),
 		ActiveConns:     active,
 		Frames:          s.frames.Load(),
 		IngestedRecords: s.ingested.Load(),
 		DroppedRecords:  s.dropped.Load(),
 		DecodeErrors:    s.decErrs.Load(),
+		ChecksumErrors:  s.chkErrs.Load(),
 	}
+	for i := range c.FramesByFormat {
+		c.FramesByFormat[i] = s.framesByFmt[i].Load()
+	}
+	return c
 }
 
 // ConnCounters returns a per-connection counter snapshot, ordered by
@@ -190,6 +249,8 @@ func (s *Server) ConnCounters() []ConnCounters {
 			IngestedRecords: c.ingested.Load(),
 			DroppedRecords:  c.dropped.Load(),
 			DecodeErrors:    c.decErrs.Load(),
+			ChecksumErrors:  c.chkErrs.Load(),
+			CreditWindow:    c.granted.Load() - c.frames.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -214,6 +275,39 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// noteFrameSize folds one frame's size into the per-format histogram
+// summary.
+func (s *Server) noteFrameSize(f parsefmt.Format, n int) {
+	lg := int32(bits.Len(uint(n)))
+	for {
+		cur := s.frameLog2[f].Load()
+		if lg <= cur || s.frameLog2[f].CompareAndSwap(cur, lg) {
+			return
+		}
+	}
+}
+
+// readBufSize picks a connection's buffered-reader size from the frame
+// histogram: roughly two frames of readahead, clamped to [64 KiB,
+// 1 MiB]. Columnar connections start at 256 KiB before any history
+// exists — their frames are wide by design.
+func (s *Server) readBufSize(f parsefmt.Format) int {
+	size := 64 << 10
+	if f == parsefmt.Columnar {
+		size = 256 << 10
+	}
+	if lg := s.frameLog2[f].Load(); lg > 0 {
+		size = 1 << (uint(lg) + 1)
+	}
+	if size < 64<<10 {
+		size = 64 << 10
+	}
+	if size > 1<<20 {
+		size = 1 << 20
+	}
+	return size
+}
+
 // handle runs one connection: handshake, then the frame/credit loop.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
@@ -231,12 +325,12 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Unlock()
 
 	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
-	format, status, err := readHello(conn)
+	format, version, status, err := readHello(conn, byte(s.cfg.MaxVersion))
 	s.mu.Lock()
 	delete(s.pending, conn)
 	s.mu.Unlock()
 	if err != nil {
-		writeAck(conn, status, 0)
+		writeAck(conn, version, status, 0)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
@@ -247,7 +341,8 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	s.nextID++
-	c := &serverConn{id: s.nextID, conn: conn, format: format}
+	c := &serverConn{id: s.nextID, conn: conn, format: format, version: version}
+	c.granted.Store(int64(s.cfg.FrameCredits))
 	s.conns[c.id] = c
 	s.mu.Unlock()
 	s.cfg.Feed.register(c.id)
@@ -265,48 +360,208 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	if writeAck(conn, statusOK, uint16(s.cfg.FrameCredits)) != nil {
+	if writeAck(conn, version, statusOK, uint16(s.cfg.FrameCredits)) != nil {
 		return
 	}
 
-	br := bufio.NewReaderSize(conn, 64<<10)
-	var buf []byte
-	for {
-		payload, eos, err := readFrame(br, buf, s.cfg.MaxFrameBytes)
-		if err != nil || eos {
-			return // clean EOS, peer gone, or oversized frame
+	br := bufio.NewReaderSize(conn, s.readBufSize(format))
+	if format == parsefmt.Columnar {
+		s.serveColumnar(c, br)
+	} else {
+		s.serveRows(c, br)
+	}
+}
+
+// grantCredit regenerates one frame credit after the engine's
+// backpressure clears. Clients block on their send window, so pipeline
+// overload propagates to the traffic sources instead of filling server
+// memory. Returns false when the connection should end.
+func (s *Server) grantCredit(c *serverConn) bool {
+	for s.cfg.Overloaded != nil && s.cfg.Overloaded() {
+		if s.closing.Load() {
+			return false
 		}
-		buf = payload[:cap(payload)]
+		time.Sleep(time.Millisecond)
+	}
+	if writeCredit(c.conn, 1) != nil {
+		return false
+	}
+	c.granted.Add(1)
+	return true
+}
+
+// countDecodeError attributes one undecodable frame.
+func (s *Server) countDecodeError(c *serverConn) {
+	s.decErrs.Add(1)
+	c.decErrs.Add(1)
+}
+
+// serveColumnar runs a columnar connection's receive loop: frame
+// payload bytes are read directly from the socket into pooled column
+// slabs — no intermediate payload buffer, no per-record work, just
+// geometry validation, an endian fix (a no-op on little-endian hosts)
+// and a checksum scan. A single goroutine per connection keeps frame
+// delivery sequential, which the feed's watermark cursors require.
+func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
+	schema := s.cfg.Feed.Schema()
+	var lenBuf [4]byte
+	var hdrBuf [parsefmt.ColumnarHeaderBytes]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return // peer gone
+		}
+		size := int64(binary.BigEndian.Uint32(lenBuf[:]))
+		if size == 0 {
+			return // clean end of stream
+		}
+		if size > int64(s.cfg.MaxFrameBytes) {
+			s.countDecodeError(c)
+			return // oversized frame: refuse to stream that much hostile data
+		}
 		s.frames.Add(1)
 		c.frames.Add(1)
+		s.framesByFmt[parsefmt.Columnar].Add(1)
+		s.noteFrameSize(parsefmt.Columnar, int(size))
 
+		if size < parsefmt.ColumnarHeaderBytes {
+			if _, err := io.CopyN(io.Discard, br, size); err != nil {
+				return
+			}
+			s.countDecodeError(c)
+			if !s.grantCredit(c) {
+				return
+			}
+			continue
+		}
+		if _, err := io.ReadFull(br, hdrBuf[:]); err != nil {
+			return
+		}
+		body := size - parsefmt.ColumnarHeaderBytes
+		hdr, err := parsefmt.ParseColumnarHeader(hdrBuf[:])
+		if err != nil || hdr.NCols != schema.NumCols || parsefmt.ColumnarDataBytes(hdr.NCols, hdr.NRows) != body {
+			// Malformed geometry: drop the frame's remaining bytes and
+			// keep the connection — the framing layer is still intact.
+			if _, err := io.CopyN(io.Discard, br, body); err != nil {
+				return
+			}
+			s.countDecodeError(c)
+			if !s.grantCredit(c) {
+				return
+			}
+			continue
+		}
+
+		cols := s.cfg.Feed.borrowCols(hdr.NRows)
+		short := false
+		for i := range cols {
+			if _, err := io.ReadFull(br, parsefmt.ColumnBytes(cols[i])); err != nil {
+				short = true
+				break
+			}
+			parsefmt.FixWireOrder(cols[i])
+		}
+		if short {
+			s.cfg.Feed.Recycle(cols)
+			return // truncated mid-frame: peer gone
+		}
+		if sum := parsefmt.ChecksumColumns(cols); sum != hdr.Checksum {
+			s.cfg.Feed.Recycle(cols)
+			s.chkErrs.Add(1)
+			c.chkErrs.Add(1)
+			if !s.grantCredit(c) {
+				return
+			}
+			continue
+		}
+
+		var maxTs uint64
+		for _, ts := range cols[schema.TsCol] {
+			if ts > maxTs {
+				maxTs = ts
+			}
+		}
+		n := int64(hdr.NRows)
+		if !s.cfg.Feed.push(batch{conn: c.id, cols: cols, maxTs: maxTs}) {
+			s.dropped.Add(n)
+			c.dropped.Add(n)
+			return // draining: the pipeline no longer accepts records
+		}
+		s.ingested.Add(n)
+		c.ingested.Add(n)
+		if !s.grantCredit(c) {
+			return
+		}
+	}
+}
+
+// serveRows runs a row-format connection: the socket read loop and the
+// decoder are pipelined over a small ring of frame buffers, so the next
+// frame streams in while the previous one parses.
+func (s *Server) serveRows(c *serverConn, br *bufio.Reader) {
+	work := make(chan []byte, rowPipelineDepth)
+	free := make(chan []byte, rowPipelineDepth)
+	for i := 0; i < rowPipelineDepth; i++ {
+		free <- nil
+	}
+	done := make(chan struct{})
+	go s.decodeRows(c, work, free, done)
+	defer func() {
+		close(work)
+		<-done
+	}()
+	for {
+		buf := <-free
+		payload, eos, err := readFrame(br, buf, s.cfg.MaxFrameBytes)
+		if err != nil || eos {
+			if errors.Is(err, errFrameTooBig) {
+				s.countDecodeError(c)
+			}
+			return // clean EOS, peer gone, or oversized frame
+		}
+		s.frames.Add(1)
+		c.frames.Add(1)
+		s.framesByFmt[c.format].Add(1)
+		s.noteFrameSize(c.format, len(payload))
+		work <- payload
+	}
+}
+
+// decodeRows is a row connection's decode half: parse each frame (under
+// the server-wide decode-worker bound), deliver the batch, regenerate
+// the client's credit, and hand the frame buffer back to the read loop.
+// Frames decode strictly in arrival order — the feed's watermark cursor
+// advances per delivered batch, so reordering could close a window past
+// records still in flight. On a fatal condition it severs the
+// connection (unblocking the read loop) and drains remaining buffers.
+func (s *Server) decodeRows(c *serverConn, work, free chan []byte, done chan struct{}) {
+	defer close(done)
+	fatal := false
+	for payload := range work {
+		if fatal {
+			free <- payload
+			continue
+		}
+		s.decodeSem <- struct{}{}
 		cols, maxTs := s.decodeFrame(c, payload)
+		<-s.decodeSem
+		free <- payload[:cap(payload)]
 		if cols != nil {
+			n := int64(len(cols[0]))
 			if s.cfg.Feed.push(batch{conn: c.id, cols: cols, maxTs: maxTs}) {
-				n := int64(len(cols[0]))
 				s.ingested.Add(n)
 				c.ingested.Add(n)
 			} else {
 				// Draining: the pipeline no longer accepts records.
-				n := int64(len(cols[0]))
 				s.dropped.Add(n)
 				c.dropped.Add(n)
-				return
+				fatal = true
+				c.conn.Close()
+				continue
 			}
 		}
-
-		// Credit regeneration: one credit per consumed frame, withheld
-		// while the engine reports backpressure. Clients block on their
-		// send window, so pipeline overload propagates to the traffic
-		// sources instead of filling server memory.
-		for s.cfg.Overloaded != nil && s.cfg.Overloaded() {
-			if s.closing.Load() {
-				return
-			}
-			time.Sleep(time.Millisecond)
-		}
-		if writeCredit(conn, 1) != nil {
-			return
+		if !s.grantCredit(c) {
+			fatal = true
+			c.conn.Close()
 		}
 	}
 }
@@ -329,8 +584,7 @@ func (s *Server) decodeFrame(c *serverConn, payload []byte) ([][]uint64, uint64)
 		if err != nil {
 			// Malformed payload: keep the records already decoded,
 			// drop the rest of the frame.
-			s.decErrs.Add(1)
-			c.decErrs.Add(1)
+			s.countDecodeError(c)
 			break
 		}
 		rc := rec.Cols()

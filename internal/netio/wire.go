@@ -1,49 +1,65 @@
 // Package netio turns the native backend into a network server: an
 // ingest listener accepts TCP connections carrying length-prefixed
-// frames of parsefmt-encoded records (binary, JSON or CSV, negotiated
-// in a small handshake), decodes them with the streaming decoders, and
-// hands sealed batches to the runtime through its ExternalFeed seam. A
-// credit-based flow-control loop ties client send permission to the
-// engine's mempool backpressure signal, so an overloaded pipeline slows
-// its clients instead of buffering unboundedly (paper §7.4 treats
-// ingestion as a first-class bottleneck; the ROADMAP north-star is a
-// server for live traffic). The package also serves live query results
-// (/windows) and engine metrics (/metrics) over HTTP, and provides the
-// client used by cmd/sbx-loadgen.
+// frames of parsefmt-encoded records (columnar, binary, JSON or CSV,
+// negotiated in a small handshake), decodes them, and hands sealed
+// batches to the runtime through its ExternalFeed seam. Row-format
+// payloads go through the streaming decoders on a per-connection decode
+// goroutine; columnar frames land their payload bytes directly in
+// mempool-backed column slabs — decode is validate + bounds-check +
+// endian-fix + pointer-cast, with zero per-record work. A credit-based
+// flow-control loop ties client send permission to the engine's mempool
+// backpressure signal, so an overloaded pipeline slows its clients
+// instead of buffering unboundedly (paper §7.4 treats ingestion as a
+// first-class bottleneck; the ROADMAP north-star is a server for live
+// traffic). The package also serves live query results (/windows) and
+// engine metrics (/metrics) over HTTP, and provides the client used by
+// cmd/sbx-loadgen.
 //
 // # Wire format
 //
-// All integers are big-endian. The client opens with an 8-byte hello:
+// Handshake and framing integers are big-endian. The client opens with
+// an 8-byte hello:
 //
 //	offset 0: magic "SBX1"
-//	offset 4: protocol version (1)
-//	offset 5: payload format: 0 JSON, 1 binary (PB), 2 text (CSV)
+//	offset 4: protocol version (1 or 2)
+//	offset 5: payload format: 0 JSON, 1 binary (PB), 2 text (CSV),
+//	          3 columnar (version 2 only)
 //	offset 6: reserved (2 bytes, zero)
 //
 // The server answers with an 8-byte ack:
 //
 //	offset 0: magic "SBXA"
-//	offset 4: protocol version (1)
-//	offset 5: status: 0 OK, 1 bad magic/version, 2 bad format
+//	offset 4: negotiated protocol version (min of the hello's and the
+//	          server's; a version-1 hello is always acked with 1, so
+//	          version-1 clients see bit-for-bit the version-1 exchange)
+//	offset 5: status: 0 OK, 1 bad magic/version, 2 bad format (also
+//	          returned for a columnar request the negotiated version
+//	          cannot carry — clients fall back to a row format on a
+//	          fresh connection)
 //	offset 6: initial credit grant, uint16 (frames the client may send)
 //
 // After the ack, the client sends data frames — a uint32 payload length
-// followed by that many bytes of parsefmt-encoded records; a zero
-// length marks a clean end of stream — and the server sends uint32
+// followed by that many bytes of records in the negotiated format; a
+// zero length marks a clean end of stream — and the server sends uint32
 // credit grants, each extending the client's send window by that many
-// frames. The client must keep one credit per in-flight frame.
+// frames. The client must keep one credit per in-flight frame. For the
+// columnar format, each frame payload is exactly one parsefmt columnar
+// frame (24-byte checksummed header + little-endian column-major data;
+// see parsefmt/columnar.go for the layout).
 package netio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"streambox/internal/parsefmt"
 )
 
-// Version is the wire protocol version.
-const Version = 1
+// Version is the highest wire protocol version this build speaks.
+// Version 1 carries the row formats; version 2 adds columnar frames.
+const Version = 2
 
 var (
 	magicHello = [4]byte{'S', 'B', 'X', '1'}
@@ -57,64 +73,99 @@ const (
 	statusBadFormat = 2
 )
 
+// errFormatRejected marks an ack rejecting the requested payload
+// format — the trigger for the client's columnar→row fallback redial.
+var errFormatRejected = errors.New("netio: server rejected payload format")
+
+// errFrameTooBig marks a frame whose declared payload exceeds the
+// server's limit; the server counts it as a decode error and severs the
+// connection rather than stream the excess.
+var errFrameTooBig = errors.New("netio: frame exceeds size limit")
+
 // DefaultMaxFrameBytes caps one frame's payload unless ServerConfig
 // overrides it.
 const DefaultMaxFrameBytes = 4 << 20
 
+// helloVersionFor picks the hello version a client sends for format f:
+// columnar needs version 2; row formats stay on the version-1 exchange
+// so they interoperate bit-for-bit with version-1 servers.
+func helloVersionFor(f parsefmt.Format) byte {
+	if f == parsefmt.Columnar {
+		return Version
+	}
+	return 1
+}
+
 // writeHello sends the client's 8-byte hello.
-func writeHello(w io.Writer, f parsefmt.Format) error {
+func writeHello(w io.Writer, f parsefmt.Format, version byte) error {
 	var h [8]byte
 	copy(h[:4], magicHello[:])
-	h[4] = Version
+	h[4] = version
 	h[5] = byte(f)
 	_, err := w.Write(h[:])
 	return err
 }
 
-// readHello parses the client hello, distinguishing protocol errors by
-// ack status.
-func readHello(r io.Reader) (parsefmt.Format, byte, error) {
+// readHello parses the client hello against the server's maximum
+// version, distinguishing protocol errors by ack status. The returned
+// version is the negotiated one (min of hello and maxVersion) and is
+// valid even on error, so the rejection ack echoes a version the peer
+// understands.
+func readHello(r io.Reader, maxVersion byte) (f parsefmt.Format, version byte, status byte, err error) {
+	version = 1
 	var h [8]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
-		return 0, statusBadMagic, fmt.Errorf("netio: reading hello: %w", err)
+		return 0, version, statusBadMagic, fmt.Errorf("netio: reading hello: %w", err)
 	}
-	if [4]byte(h[:4]) != magicHello || h[4] != Version {
-		return 0, statusBadMagic, fmt.Errorf("netio: bad hello magic/version %q v%d", h[:4], h[4])
+	if [4]byte(h[:4]) != magicHello || h[4] < 1 || h[4] > Version {
+		return 0, version, statusBadMagic, fmt.Errorf("netio: bad hello magic/version %q v%d", h[:4], h[4])
 	}
-	f := parsefmt.Format(h[5])
-	if f != parsefmt.JSON && f != parsefmt.PB && f != parsefmt.Text {
-		return 0, statusBadFormat, fmt.Errorf("netio: unknown payload format %d", h[5])
+	version = h[4]
+	if version > maxVersion {
+		version = maxVersion
 	}
-	return f, statusOK, nil
+	f = parsefmt.Format(h[5])
+	switch f {
+	case parsefmt.JSON, parsefmt.PB, parsefmt.Text:
+	case parsefmt.Columnar:
+		if version < 2 {
+			return 0, version, statusBadFormat, fmt.Errorf("netio: columnar format needs wire version 2 (negotiated %d)", version)
+		}
+	default:
+		return 0, version, statusBadFormat, fmt.Errorf("netio: unknown payload format %d", h[5])
+	}
+	return f, version, statusOK, nil
 }
 
-// writeAck sends the server's 8-byte ack with the initial credit grant.
-func writeAck(w io.Writer, status byte, credits uint16) error {
+// writeAck sends the server's 8-byte ack with the negotiated version
+// and the initial credit grant.
+func writeAck(w io.Writer, version, status byte, credits uint16) error {
 	var a [8]byte
 	copy(a[:4], magicAck[:])
-	a[4] = Version
+	a[4] = version
 	a[5] = status
 	binary.BigEndian.PutUint16(a[6:], credits)
 	_, err := w.Write(a[:])
 	return err
 }
 
-// readAck parses the server ack and returns the initial credits.
-func readAck(r io.Reader) (int, error) {
+// readAck parses the server ack, returning the initial credits and the
+// negotiated version.
+func readAck(r io.Reader) (credits int, version byte, err error) {
 	var a [8]byte
 	if _, err := io.ReadFull(r, a[:]); err != nil {
-		return 0, fmt.Errorf("netio: reading ack: %w", err)
+		return 0, 0, fmt.Errorf("netio: reading ack: %w", err)
 	}
-	if [4]byte(a[:4]) != magicAck || a[4] != Version {
-		return 0, fmt.Errorf("netio: bad ack magic/version %q v%d", a[:4], a[4])
+	if [4]byte(a[:4]) != magicAck || a[4] < 1 || a[4] > Version {
+		return 0, 0, fmt.Errorf("netio: bad ack magic/version %q v%d", a[:4], a[4])
 	}
 	switch a[5] {
 	case statusOK:
-		return int(binary.BigEndian.Uint16(a[6:])), nil
+		return int(binary.BigEndian.Uint16(a[6:])), a[4], nil
 	case statusBadFormat:
-		return 0, fmt.Errorf("netio: server rejected payload format")
+		return 0, a[4], errFormatRejected
 	default:
-		return 0, fmt.Errorf("netio: server rejected handshake (status %d)", a[5])
+		return 0, a[4], fmt.Errorf("netio: server rejected handshake (status %d)", a[5])
 	}
 }
 
@@ -133,6 +184,43 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// writeColumnarFrame sends one columnar data frame holding cols without
+// materializing the payload: length prefix, then the checksummed
+// header, then each column's wire bytes straight from its backing
+// array (an alias, not a copy, on little-endian hosts).
+func writeColumnarFrame(w io.Writer, cols [][]uint64) error {
+	ncols, nrows := len(cols), len(cols[0])
+	var pre [4 + parsefmt.ColumnarHeaderBytes]byte
+	size := int64(parsefmt.ColumnarHeaderBytes) + parsefmt.ColumnarDataBytes(ncols, nrows)
+	binary.BigEndian.PutUint32(pre[:4], uint32(size))
+	parsefmt.PutColumnarHeader(pre[4:], ncols, nrows, parsefmt.ChecksumColumns(cols))
+	if _, err := w.Write(pre[:]); err != nil {
+		return err
+	}
+	for _, col := range cols {
+		if err := writeWireWords(w, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeWireWords writes one column in wire (little-endian) order.
+func writeWireWords(w io.Writer, col []uint64) error {
+	if parsefmt.HostIsLittleEndian() {
+		_, err := w.Write(parsefmt.ColumnBytes(col))
+		return err
+	}
+	var b [8]byte
+	for _, v := range col {
+		binary.LittleEndian.PutUint64(b[:], v)
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // readFrame reads one data frame into buf (grown as needed), bounding
 // the payload at max bytes. eos is true for the end-of-stream marker.
 func readFrame(r io.Reader, buf []byte, max int) (payload []byte, eos bool, err error) {
@@ -145,7 +233,7 @@ func readFrame(r io.Reader, buf []byte, max int) (payload []byte, eos bool, err 
 		return nil, true, nil
 	}
 	if int64(size) > int64(max) {
-		return nil, false, fmt.Errorf("netio: frame of %d bytes exceeds %d-byte limit", size, max)
+		return nil, false, fmt.Errorf("%w: %d bytes over the %d-byte limit", errFrameTooBig, size, max)
 	}
 	if cap(buf) < int(size) {
 		buf = make([]byte, size)
@@ -184,7 +272,12 @@ func ParseFormat(s string) (parsefmt.Format, error) {
 		return parsefmt.PB, nil
 	case "text", "csv":
 		return parsefmt.Text, nil
+	case "columnar", "col":
+		return parsefmt.Columnar, nil
 	default:
-		return 0, fmt.Errorf("netio: unknown format %q (json|pb|text)", s)
+		return 0, fmt.Errorf("netio: unknown format %q (json|pb|text|columnar)", s)
 	}
 }
+
+// formatLabel is the short metrics label per wire format code.
+var formatLabel = [4]string{"json", "pb", "text", "columnar"}

@@ -1,0 +1,160 @@
+package parsefmt
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func sampleCols(ncols, nrows int) [][]uint64 {
+	cols := make([][]uint64, ncols)
+	for i := range cols {
+		cols[i] = make([]uint64, nrows)
+		for r := range cols[i] {
+			cols[i][r] = uint64(i)<<32 ^ uint64(r)*2654435761
+		}
+	}
+	return cols
+}
+
+func TestColumnarFrameRoundTrip(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {7, 64}, {3, 1000}} {
+		cols := sampleCols(dims[0], dims[1])
+		frame := EncodeColumnarFrame(cols)
+		want := int64(ColumnarHeaderBytes) + ColumnarDataBytes(dims[0], dims[1])
+		if int64(len(frame)) != want {
+			t.Fatalf("%v: frame is %d bytes, want %d", dims, len(frame), want)
+		}
+		got, err := DecodeColumnarFrame(frame, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if !reflect.DeepEqual(got, cols) {
+			t.Fatalf("%v: columns changed across the round trip", dims)
+		}
+	}
+}
+
+// TestColumnarDecodeTakeCol pins the pooled-slab seam: storage with
+// excess capacity and stale contents must come back trimmed and
+// correct.
+func TestColumnarDecodeTakeCol(t *testing.T) {
+	cols := sampleCols(7, 33)
+	frame := EncodeColumnarFrame(cols)
+	taken := 0
+	got, err := DecodeColumnarFrame(frame, func(rows int) []uint64 {
+		taken++
+		slab := make([]uint64, rows+100)
+		for i := range slab {
+			slab[i] = ^uint64(0) // stale garbage the copy must overwrite
+		}
+		return slab
+	})
+	if err != nil || taken != 7 {
+		t.Fatalf("takeCol used %d times, err %v", taken, err)
+	}
+	for i := range got {
+		if len(got[i]) != 33 || !reflect.DeepEqual(got[i], cols[i]) {
+			t.Fatalf("col %d wrong through pooled storage", i)
+		}
+	}
+}
+
+func TestColumnarRejectsMalformedFrames(t *testing.T) {
+	good := EncodeColumnarFrame(sampleCols(7, 16))
+	mutate := func(f func(b []byte)) []byte {
+		b := bytes.Clone(good)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:10],
+		"bad magic":        mutate(func(b []byte) { b[0] = 'X' }),
+		"reserved16":       mutate(func(b []byte) { b[6] = 1 }),
+		"reserved32":       mutate(func(b []byte) { b[12] = 1 }),
+		"zero cols":        mutate(func(b []byte) { b[4], b[5] = 0, 0 }),
+		"zero rows":        mutate(func(b []byte) { b[8], b[9], b[10], b[11] = 0, 0, 0, 0 }),
+		"truncated data":   good[:len(good)-1],
+		"trailing bytes":   append(bytes.Clone(good), 0),
+		"rows beyond data": mutate(func(b []byte) { b[8]++ }),
+		"bad checksum":     mutate(func(b []byte) { b[16] ^= 1 }),
+		"corrupt word":     mutate(func(b []byte) { b[ColumnarHeaderBytes+3] ^= 0x80 }),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeColumnarFrame(frame, nil); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	if _, err := DecodeColumnarFrame(good, nil); err != nil {
+		t.Fatalf("control frame rejected: %v", err)
+	}
+}
+
+func TestChecksumColumnsSensitivity(t *testing.T) {
+	cols := sampleCols(7, 64)
+	base := ChecksumColumns(cols)
+	cols[3][17]++
+	if ChecksumColumns(cols) == base {
+		t.Fatal("checksum blind to a single-word change")
+	}
+	cols[3][17]--
+	if ChecksumColumns(cols) != base {
+		t.Fatal("checksum not deterministic")
+	}
+	// Column order matters: swapping two equal-length columns must not
+	// collide (the words travel in column order).
+	swapped := [][]uint64{cols[1], cols[0]}
+	if ChecksumColumns(cols[:2]) == ChecksumColumns(swapped) {
+		t.Fatal("checksum blind to column order")
+	}
+}
+
+func TestSwapWordsIsWireOrderInverse(t *testing.T) {
+	col := []uint64{0, 1, 0x0123456789ABCDEF, ^uint64(0)}
+	want := bytes.Clone(ColumnBytes(col))
+	swapWords(col)
+	swapWords(col)
+	if !bytes.Equal(ColumnBytes(col), want) {
+		t.Fatal("swapWords is not an involution")
+	}
+}
+
+func TestColumnarRecordsBridge(t *testing.T) {
+	recs := []Record{
+		{AdID: 1, AdType: 2, EventType: 3, UserID: 4, PageID: 5, IP: 6, EventTime: 7},
+		{AdID: ^uint64(0), EventTime: 1 << 62},
+		{UserID: 42},
+	}
+	data := Encode(Columnar, recs)
+	got, err := Decode(Columnar, data)
+	if err != nil || !reflect.DeepEqual(got, recs) {
+		t.Fatalf("record bridge round trip: %v", err)
+	}
+	// Two concatenated frames decode as one stream, batch and
+	// incremental alike.
+	both := append(bytes.Clone(data), EncodeColumnarRecords(recs)...)
+	got, err = DecodeColumnarRecords(both)
+	if err != nil || len(got) != 6 {
+		t.Fatalf("concatenated frames: %d records, %v", len(got), err)
+	}
+	var sgot []Record
+	d := NewStreamDecoder(Columnar, bytes.NewReader(both))
+	for {
+		r, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sgot = append(sgot, r)
+	}
+	if !reflect.DeepEqual(sgot, got) {
+		t.Fatalf("stream decoded %d records, batch %d", len(sgot), len(got))
+	}
+	if Encode(Columnar, nil) != nil {
+		t.Fatal("empty record set must encode to no bytes")
+	}
+}

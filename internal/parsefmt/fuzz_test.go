@@ -49,6 +49,124 @@ func FuzzDecodePB(f *testing.F) {
 	})
 }
 
+// FuzzDecodeJSON mirrors FuzzDecodePB for the JSON decoders: no panics,
+// batch/stream agreement on valid input, stable re-encode round trip.
+func FuzzDecodeJSON(f *testing.F) {
+	f.Add(EncodeJSON(sampleFuzzRecords()))
+	f.Add([]byte{})
+	f.Add([]byte(`{"ad_id":1}`))
+	f.Add([]byte(`{"ad_id":1}{"ad_id":`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"event_time":18446744073709551615}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeJSON(data) // must not panic
+
+		var sgot []Record
+		var serr error
+		d := NewStreamDecoder(JSON, bytes.NewReader(data))
+		for serr == nil {
+			var r Record
+			r, serr = d.Next()
+			if serr == nil {
+				sgot = append(sgot, r)
+			}
+		}
+		if err != nil {
+			return
+		}
+		if serr != io.EOF {
+			t.Fatalf("batch decoded %d records but stream failed: %v", len(recs), serr)
+		}
+		if !reflect.DeepEqual(sgot, recs) {
+			t.Fatalf("stream decoded %d records, batch %d", len(sgot), len(recs))
+		}
+		again, err := DecodeJSON(EncodeJSON(recs))
+		if err != nil || !reflect.DeepEqual(again, recs) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeCSV mirrors FuzzDecodePB for the text decoders.
+func FuzzDecodeCSV(f *testing.F) {
+	f.Add(EncodeText(sampleFuzzRecords()))
+	f.Add([]byte{})
+	f.Add([]byte("1,2,3,4,5,6,7\n"))
+	f.Add([]byte("1,2,3\n"))
+	f.Add([]byte("not,a,record\n\n8,9,10,11,12,13,14"))
+	f.Add([]byte("18446744073709551616,0,0,0,0,0,0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeText(data) // must not panic
+
+		var sgot []Record
+		var serr error
+		d := NewStreamDecoder(Text, bytes.NewReader(data))
+		for serr == nil {
+			var r Record
+			r, serr = d.Next()
+			if serr == nil {
+				sgot = append(sgot, r)
+			}
+		}
+		if err != nil {
+			return
+		}
+		if serr != io.EOF {
+			t.Fatalf("batch decoded %d records but stream failed: %v", len(recs), serr)
+		}
+		if !reflect.DeepEqual(sgot, recs) {
+			t.Fatalf("stream decoded %d records, batch %d", len(sgot), len(recs))
+		}
+		again, err := DecodeText(EncodeText(recs))
+		if err != nil || !reflect.DeepEqual(again, recs) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzColumnarFrame attacks the columnar frame validator with mutated
+// headers, lengths and checksums: DecodeColumnarFrame must never panic
+// or over-read, and whatever it accepts must re-encode to a frame it
+// accepts again with identical columns.
+func FuzzColumnarFrame(f *testing.F) {
+	good := EncodeColumnarRecords(sampleFuzzRecords())
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("SBXC"))
+	// Truncated data section.
+	f.Add(good[:len(good)-3])
+	// Oversized dims for the payload.
+	huge := bytes.Clone(good)
+	huge[8], huge[9] = 0xFF, 0xFF
+	f.Add(huge)
+	// Corrupted checksum.
+	sum := bytes.Clone(good)
+	sum[16] ^= 0x01
+	f.Add(sum)
+	// Nonzero reserved bytes.
+	res := bytes.Clone(good)
+	res[6] = 1
+	f.Add(res)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cols, err := DecodeColumnarFrame(data, nil) // must not panic or over-read
+		_, _ = DecodeColumnarRecords(data)
+		var r Record
+		d := NewStreamDecoder(Columnar, bytes.NewReader(data))
+		for serr := error(nil); serr == nil; {
+			r, serr = d.Next()
+		}
+		_ = r
+		if err != nil {
+			return
+		}
+		// Accepted frames re-encode bit-for-bit and decode identically.
+		again, err2 := DecodeColumnarFrame(EncodeColumnarFrame(cols), nil)
+		if err2 != nil || !reflect.DeepEqual(again, cols) {
+			t.Fatalf("re-encode round trip failed: %v", err2)
+		}
+	})
+}
+
 func sampleFuzzRecords() []Record {
 	return []Record{
 		{AdID: 1, AdType: 2, EventType: 3, UserID: 4, PageID: 5, IP: 6, EventTime: 7},

@@ -282,11 +282,14 @@ func parseTextLine(line []byte) (Record, error) {
 // Format identifies one tested encoding.
 type Format int
 
-// The tested formats.
+// The tested formats (JSON/PB/Text are Figure 11's row encodings;
+// Columnar is the zero-copy frame format of columnar.go). The values
+// double as the wire-protocol format codes.
 const (
 	JSON Format = iota
 	PB
 	Text
+	Columnar
 )
 
 // String returns the format name as used in Figure 11.
@@ -296,6 +299,8 @@ func (f Format) String() string {
 		return "JSON"
 	case PB:
 		return "Protocol Buffers"
+	case Columnar:
+		return "Columnar"
 	default:
 		return "Text Strings"
 	}
@@ -308,6 +313,8 @@ func Encode(f Format, recs []Record) []byte {
 		return EncodeJSON(recs)
 	case PB:
 		return EncodePB(recs)
+	case Columnar:
+		return EncodeColumnarRecords(recs)
 	default:
 		return EncodeText(recs)
 	}
@@ -321,6 +328,8 @@ func Decode(f Format, data []byte) ([]Record, error) {
 		return DecodeJSON(data)
 	case PB:
 		return DecodePBLibrary(data)
+	case Columnar:
+		return DecodeColumnarRecords(data)
 	default:
 		return DecodeText(data)
 	}

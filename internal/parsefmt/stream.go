@@ -37,6 +37,8 @@ func NewStreamDecoder(f Format, r io.Reader) StreamDecoder {
 		return &jsonStream{dec: json.NewDecoder(br), br: br}
 	case PB:
 		return &pbStream{br: bufio.NewReader(r)}
+	case Columnar:
+		return &columnarStream{r: bufio.NewReader(r)}
 	default:
 		return &textStream{br: bufio.NewReader(r)}
 	}

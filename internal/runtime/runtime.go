@@ -410,6 +410,12 @@ func (e *Execution) WindowsClosed() int {
 // MemSnapshot returns a consistent view of the mempool.
 func (e *Execution) MemSnapshot() mempool.Snapshot { return e.x.pool.Snapshot() }
 
+// MemPool exposes the execution's slab allocator. The serving layer
+// wires it into the ingest feed so wire-side column batches draw from
+// the same recycling allocator as every other engine buffer — one
+// owner for all column memory, with /metrics occupancy to match.
+func (e *Execution) MemPool() *mempool.Pool { return e.x.pool }
+
 // QueueDepths returns the scheduler backlog per priority class.
 func (e *Execution) QueueDepths() [numPriorities]int { return e.x.sched.QueuedByPriority() }
 

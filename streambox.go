@@ -180,6 +180,13 @@ type ServeConfig struct {
 	FrameCredits int
 	// MaxFrameBytes caps one ingest frame's payload (0 picks 4 MiB).
 	MaxFrameBytes int
+	// WireVersion caps the negotiated ingest wire version (0 picks the
+	// newest). Set 1 to serve row-format clients only; columnar dials
+	// then fall back to a row format.
+	WireVersion int
+	// DecodeWorkers bounds concurrent row-format frame decoding across
+	// all ingest connections (0 picks GOMAXPROCS).
+	DecodeWorkers int
 	// FeedBuffer is the decoded-batch buffer between the ingest server
 	// and the runtime, in batches (0 picks 64).
 	FeedBuffer int
@@ -205,8 +212,11 @@ type Report struct {
 	// generators drop nothing, so it is 0 for generator sources.
 	DroppedRecords int64
 	// DecodeErrors counts network frames whose payload failed to
-	// decode (0 for generator sources, whose records need no parsing).
-	DecodeErrors int64
+	// decode (0 for generator sources, whose records need no parsing);
+	// ChecksumErrors separately counts columnar frames that parsed but
+	// failed checksum verification.
+	DecodeErrors   int64
+	ChecksumErrors int64
 	// WallSeconds is the real elapsed time of a native run (0 when
 	// simulated).
 	WallSeconds float64
@@ -770,11 +780,17 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One owner for all column memory: wire-side batches draw from the
+	// engine's slab allocator, so /metrics occupancy covers them and
+	// recycled slabs cycle between the socket and the bundle copier.
+	feed.UsePool(exec.MemPool())
 
 	ingest, err := netio.Listen(cfg.Serve.IngestAddr, netio.ServerConfig{
 		Feed:          feed,
 		FrameCredits:  cfg.Serve.FrameCredits,
 		MaxFrameBytes: cfg.Serve.MaxFrameBytes,
+		MaxVersion:    cfg.Serve.WireVersion,
+		DecodeWorkers: cfg.Serve.DecodeWorkers,
 		Overloaded: func() bool {
 			return exec.DRAMUtilization() > runtime.BackpressureUtilization
 		},
@@ -815,15 +831,18 @@ func (s *Server) scrapeMetrics() netio.Metrics {
 	mem := s.exec.MemSnapshot()
 	depths := s.exec.QueueDepths()
 	m := netio.Metrics{
-		Allocs:           mem.Allocs,
-		Frees:            mem.Frees,
-		AllocFailures:    mem.Failures,
-		QueueDepths:      depths,
-		IngestedRecords:  s.exec.Ingested(),
-		WindowsClosed:    int64(s.exec.WindowsClosed()),
-		Ingest:           s.ingest.Counters(),
-		PerConn:          s.ingest.ConnCounters(),
-		WindowsPublished: s.store.Published(),
+		Allocs:            mem.Allocs,
+		Frees:             mem.Frees,
+		AllocFailures:     mem.Failures,
+		ColSlabsCached:    mem.ColSlabsCached,
+		ColSlabBytesCache: mem.ColSlabBytesCache,
+		ColSlabsRecycled:  mem.ColSlabsRecycled,
+		QueueDepths:       depths,
+		IngestedRecords:   s.exec.Ingested(),
+		WindowsClosed:     int64(s.exec.WindowsClosed()),
+		Ingest:            s.ingest.Counters(),
+		PerConn:           s.ingest.ConnCounters(),
+		WindowsPublished:  s.store.Published(),
 	}
 	for t := 0; t < 2; t++ {
 		m.MemUsed[t] = mem.Tiers[t].Used
@@ -884,6 +903,7 @@ func (s *Server) Shutdown() (Report, error) {
 		PeakWindowStateTotalBytes: rep.PeakWindowStateTotalBytes,
 		DroppedRecords:            ctr.DroppedRecords,
 		DecodeErrors:              ctr.DecodeErrors,
+		ChecksumErrors:            ctr.ChecksumErrors,
 	}
 	return out, err
 }

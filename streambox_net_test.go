@@ -184,6 +184,132 @@ func TestServeLoopbackEquivalence(t *testing.T) {
 	}
 }
 
+// TestServeLoopbackEquivalenceColumnar mirrors the loopback acceptance
+// test on the columnar wire: clients stream column-major frames through
+// the zero-copy receive path, and the per-window results must equal the
+// in-process generator run (and, transitively, the row-format runs the
+// test above pins). It also checks the columnar-specific observability:
+// format-split frame counters and column-slab pool occupancy.
+func TestServeLoopbackEquivalenceColumnar(t *testing.T) {
+	const (
+		total = 200_000
+		conns = 3
+	)
+	gen := netio.RecordGen{Keys: 50, WindowRecords: 20_000} // 10 windows, value 1
+
+	p, netCap := netPipeline()
+	srv, err := streambox.Serve(p, streambox.RunConfig{
+		Backend: streambox.Native,
+		Serve:   &streambox.ServeConfig{IngestAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients := make([]*netio.Client, conns)
+	for j := range clients {
+		c, err := netio.Dial(srv.IngestAddr(), netio.ClientConfig{Format: parsefmt.Columnar, FrameRecords: 256})
+		if err != nil {
+			t.Fatalf("conn %d: dial: %v", j, err)
+		}
+		if c.Format() != parsefmt.Columnar {
+			t.Fatalf("conn %d negotiated %v, want Columnar", j, c.Format())
+		}
+		clients[j] = c
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < conns; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			c := clients[j]
+			defer c.Close()
+			// Column-native partition send: fill column buffers straight
+			// from the generator, no record materialization.
+			cols := make([][]uint64, 7)
+			for k := range cols {
+				cols[k] = make([]uint64, 0, 256)
+			}
+			flush := func() bool {
+				if err := c.SendColumns(cols); err != nil {
+					t.Errorf("conn %d: send: %v", j, err)
+					return false
+				}
+				for k := range cols {
+					cols[k] = cols[k][:0]
+				}
+				return true
+			}
+			for i := j; i < total; i += conns {
+				rc := gen.ColsAt(uint64(i))
+				for k := range cols {
+					cols[k] = append(cols[k], rc[k])
+				}
+				if len(cols[0]) == 256 && !flush() {
+					return
+				}
+			}
+			if len(cols[0]) > 0 {
+				flush()
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	// Columnar observability, while connections may still be draining.
+	metrics := string(httpGet(t, "http://"+srv.HTTPAddr()+"/metrics"))
+	for _, want := range []string{
+		`streambox_ingest_format_frames_total{format="columnar"}`,
+		"streambox_mempool_colslabs_recycled_total",
+		"streambox_ingest_checksum_errors_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	rep, err := srv.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IngestedRecords != total {
+		t.Fatalf("ingested %d records, want %d", rep.IngestedRecords, total)
+	}
+	if rep.DecodeErrors != 0 || rep.ChecksumErrors != 0 || rep.DroppedRecords != 0 {
+		t.Fatalf("decode %d, checksum %d, dropped %d, want all 0",
+			rep.DecodeErrors, rep.ChecksumErrors, rep.DroppedRecords)
+	}
+
+	// Ground truth: the identical stream via the in-process generator.
+	refP := streambox.NewPipeline(streambox.FixedWindow(streambox.Second))
+	refCap := refP.Source(netio.NewStreamGen(gen), streambox.SourceConfig{
+		Name:           "ref",
+		Rate:           total,
+		BundleRecords:  1000,
+		WindowRecords:  20_000,
+		WatermarkEvery: 10,
+	}).
+		Window(streambox.NetworkTsCol).
+		SumPerKey(0, 3).
+		Capture()
+	if _, err := streambox.Run(refP, streambox.RunConfig{Backend: streambox.Native, Duration: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := sortedRows(netCap), sortedRows(refCap)
+	if len(got) != len(want) {
+		t.Fatalf("columnar run produced %d rows, generator run %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs: columnar %s, generator %s", i, got[i], want[i])
+		}
+	}
+	if len(got) != 10*50 {
+		t.Fatalf("row count %d, want 10 windows × 50 keys", len(got))
+	}
+}
+
 // TestRunRejectsNetworkSource pins the API seam: network pipelines go
 // through Serve.
 func TestRunRejectsNetworkSource(t *testing.T) {
