@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streambox/internal/faultinject"
 	"streambox/internal/netio"
 	"streambox/internal/parsefmt"
 )
@@ -40,6 +42,14 @@ func main() {
 	windowRecords := flag.Uint64("window-records", 100_000, "records per 1s window of event time")
 	random := flag.Bool("random", false, "random keys/values instead of round-robin")
 	seed := flag.Uint64("seed", 0, "random-mode seed")
+	resume := flag.Bool("resume", false, "resumable sessions: reconnect with backoff and replay unacked frames on connection loss (needs a wire v3 server)")
+	retries := flag.Int("retries", 8, "reconnect attempts per outage with -resume (negative = unlimited)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline (0 disables)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "fault injection: probability of a connection reset per socket op")
+	chaosPartial := flag.Float64("chaos-partial", 0, "fault injection: probability of a partial write + reset per write")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "fault injection: probability of a silent one-bit corruption per write")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault injection decision seed")
+	statsJSON := flag.String("stats-json", "", "write a JSON stats summary to this file")
 	flag.Parse()
 
 	var format parsefmt.Format
@@ -68,12 +78,34 @@ func main() {
 		Seed:          *seed,
 	}
 
+	var inj *faultinject.Injector
+	if *chaosDrop > 0 || *chaosPartial > 0 || *chaosCorrupt > 0 {
+		inj = faultinject.New(faultinject.Config{
+			ResetProb:        *chaosDrop,
+			PartialWriteProb: *chaosPartial,
+			CorruptProb:      *chaosCorrupt,
+			Seed:             *chaosSeed,
+		})
+		if !*resume {
+			fmt.Fprintln(os.Stderr, "note: chaos flags without -resume will lose data on the first injected fault")
+		}
+	}
+	ccfg := netio.ClientConfig{
+		Format:       format,
+		FrameRecords: *frame,
+		WriteTimeout: *writeTimeout,
+		Faults:       inj,
+	}
+	if *resume {
+		ccfg.Reconnect = &netio.ReconnectConfig{MaxRetries: *retries, Seed: *chaosSeed}
+	}
+
 	// Dial every connection before sending: each connection registers a
 	// watermark cursor at the server, so windows only close once every
 	// sender has passed them.
 	clients := make([]*netio.Client, *conns)
 	for j := range clients {
-		c, err := netio.Dial(*addr, netio.ClientConfig{Format: format, FrameRecords: *frame})
+		c, err := netio.Dial(*addr, ccfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "conn %d: %v\n", j, err)
 			os.Exit(1)
@@ -171,14 +203,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 	}
 
-	var total, frames int64
+	var total, frames, reconnects, replayed int64
 	for _, c := range clients {
 		total += c.Sent()
 		frames += c.Frames()
+		reconnects += c.Reconnects()
+		replayed += c.Replayed()
 	}
 	fmt.Printf("sent:       %d records in %d frames over %d conns (%s)\n", total, frames, *conns, format)
 	fmt.Printf("elapsed:    %.3f s\n", elapsed.Seconds())
 	fmt.Printf("throughput: %.1f k rec/s\n", float64(total)/elapsed.Seconds()/1e3)
+	if *resume || inj != nil {
+		fc := inj.Counters()
+		fmt.Printf("faults:     %d reconnects, %d replayed frames (injected: %d resets, %d partial writes, %d corruptions)\n",
+			reconnects, replayed, fc.Resets, fc.PartialWrites, fc.Corruptions)
+	}
+	if *statsJSON != "" {
+		fc := inj.Counters()
+		stats := map[string]interface{}{
+			"records_sent":      total,
+			"frames_sent":       frames,
+			"conns":             *conns,
+			"format":            format.String(),
+			"elapsed_s":         elapsed.Seconds(),
+			"throughput_rec_s":  float64(total) / elapsed.Seconds(),
+			"reconnects":        reconnects,
+			"replayed_frames":   replayed,
+			"inj_resets":        fc.Resets,
+			"inj_partial_write": fc.PartialWrites,
+			"inj_corruptions":   fc.Corruptions,
+		}
+		buf, _ := json.MarshalIndent(stats, "", "  ")
+		if err := os.WriteFile(*statsJSON, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}

@@ -36,6 +36,11 @@ func main() {
 	keep := flag.Int("keep", 16, "closed windows retained per sink for GET /windows")
 	k := flag.Int("k", 10, "k for -pipeline topk")
 	wire := flag.String("wire", "columnar", "newest wire capability to serve: columnar (version 2) | row (version 1 only; columnar clients fall back)")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "sever connections silent this long (0 disables)")
+	cursorGrace := flag.Duration("cursor-grace", 10*time.Second, "park a dead session's watermark cursor after this (windows close without it)")
+	sessionTimeout := flag.Duration("session-timeout", 2*time.Minute, "expire a dead session (no more resume) after this")
+	maxConns := flag.Int("max-conns", 0, "shed ingest handshakes past this many live connections (0 = unlimited)")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "SIGTERM: wait this long for clients to finish before severing")
 	flag.Parse()
 
 	wireVersion := 0 // newest
@@ -74,10 +79,14 @@ func main() {
 		Backend: streambox.Native,
 		Workers: *workers,
 		Serve: &streambox.ServeConfig{
-			IngestAddr:  *ingest,
-			HTTPAddr:    *httpAddr,
-			KeepWindows: *keep,
-			WireVersion: wireVersion,
+			IngestAddr:     *ingest,
+			HTTPAddr:       *httpAddr,
+			KeepWindows:    *keep,
+			WireVersion:    wireVersion,
+			IdleTimeout:    *idleTimeout,
+			CursorGrace:    *cursorGrace,
+			SessionTimeout: *sessionTimeout,
+			MaxConns:       *maxConns,
 		},
 	})
 	if err != nil {
@@ -100,17 +109,27 @@ func main() {
 
 	sigC := make(chan os.Signal, 1)
 	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	var sig os.Signal
 	if *duration > 0 {
 		select {
 		case <-time.After(time.Duration(*duration * float64(time.Second))):
-		case <-sigC:
+		case sig = <-sigC:
 		}
 	} else {
-		<-sigC
+		sig = <-sigC
 	}
 
-	fmt.Println("draining...")
-	rep, err := srv.Shutdown()
+	// SIGTERM runs the ordered drain: stop accepting, give clients the
+	// grace window to finish their streams cleanly, then flush windows
+	// and report. SIGINT (and -duration expiry) shuts down immediately.
+	var rep streambox.Report
+	if sig == syscall.SIGTERM && *drainGrace > 0 {
+		fmt.Printf("draining (grace %s)...\n", *drainGrace)
+		rep, err = srv.DrainShutdown(*drainGrace)
+	} else {
+		fmt.Println("draining...")
+		rep, err = srv.Shutdown()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipeline error:", err)
 	}
@@ -119,6 +138,8 @@ func main() {
 	fmt.Printf("results:    %d records, %d windows closed\n", rep.EmittedRecords, rep.WindowsClosed)
 	fmt.Printf("network:    %d dropped records, %d decode errors, %d checksum errors\n",
 		rep.DroppedRecords, rep.DecodeErrors, rep.ChecksumErrors)
+	fmt.Printf("faults:     %d resumes, %d duplicate frames, %d shed conns, %d expired sessions, %d idle timeouts\n",
+		rep.SessionsResumed, rep.DuplicateFrames, rep.ShedConns, rep.ExpiredSessions, rep.IdleTimeouts)
 	if err != nil {
 		os.Exit(1)
 	}

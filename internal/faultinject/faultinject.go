@@ -1,0 +1,188 @@
+// Package faultinject is the engine's failpoint harness: a
+// deterministic, probabilistic fault injector threaded through the
+// netio layer so chaos tests (and the CI chaos leg) can subject the
+// wire protocol to the failures a real network delivers — connection
+// resets, partial writes, delayed acks, and in-flight bit corruption —
+// while asserting the ingest path still produces bit-identical window
+// results. Every decision comes from a seeded splitmix64 sequence, so a
+// failing chaos run replays with the same seed; a nil *Injector (or a
+// zero Config) is a no-op and costs one nil check on the hot path.
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset marks an injected connection reset, so tests can
+// tell deliberate faults from real network failures.
+var ErrInjectedReset = errors.New("faultinject: injected connection reset")
+
+// Config sets the per-operation fault probabilities, each in [0,1] and
+// evaluated independently per Read/Write call on a wrapped connection.
+// The zero value injects nothing.
+type Config struct {
+	// ResetProb severs the connection (close + error) instead of
+	// performing the operation.
+	ResetProb float64
+	// PartialWriteProb writes only a prefix of the buffer, then severs
+	// the connection — the classic mid-frame cut.
+	PartialWriteProb float64
+	// CorruptProb flips one bit of the buffer before writing it, and
+	// reports success: silent corruption for checksums to catch.
+	CorruptProb float64
+	// DelayProb stalls the operation by Delay before performing it —
+	// on a server-side injector this delays acks and credit grants.
+	DelayProb float64
+	// Delay is the stall applied on a DelayProb hit (0 picks 2ms).
+	Delay time.Duration
+	// Seed drives the deterministic decision sequence.
+	Seed uint64
+}
+
+// Counters tallies the faults an injector has fired.
+type Counters struct {
+	Resets, PartialWrites, Corruptions, Delays int64
+}
+
+// Injector makes fault decisions from a seeded sequence and wraps
+// connections with them. All methods are nil-safe.
+type Injector struct {
+	cfg  Config
+	ctr  atomic.Uint64
+	on   bool
+	dis  atomic.Bool // runtime kill switch (Disable)
+	rst  atomic.Int64
+	part atomic.Int64
+	corr atomic.Int64
+	dly  atomic.Int64
+}
+
+// New builds an injector for cfg. A zero cfg yields a disabled
+// injector; nil *Injector works everywhere an injector is accepted.
+func New(cfg Config) *Injector {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 2 * time.Millisecond
+	}
+	on := cfg.ResetProb > 0 || cfg.PartialWriteProb > 0 || cfg.CorruptProb > 0 || cfg.DelayProb > 0
+	return &Injector{cfg: cfg, on: on}
+}
+
+// Enabled reports whether the injector can fire at all.
+func (i *Injector) Enabled() bool {
+	return i != nil && i.on && !i.dis.Load()
+}
+
+// Disable turns the injector off at runtime — chaos tests use it to
+// stop injecting during the drain phase so the run can converge.
+func (i *Injector) Disable() {
+	if i != nil {
+		i.dis.Store(true)
+	}
+}
+
+// Counters returns the faults fired so far.
+func (i *Injector) Counters() Counters {
+	if i == nil {
+		return Counters{}
+	}
+	return Counters{
+		Resets:        i.rst.Load(),
+		PartialWrites: i.part.Load(),
+		Corruptions:   i.corr.Load(),
+		Delays:        i.dly.Load(),
+	}
+}
+
+// splitmix64 is the standard 64-bit mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll draws the next decision word: uniform in [0,1), plus raw bits
+// for secondary choices (cut offsets, bit positions).
+func (i *Injector) roll() (float64, uint64) {
+	bits := splitmix64(i.cfg.Seed ^ i.ctr.Add(1))
+	return float64(bits>>11) / (1 << 53), bits
+}
+
+// WrapConn wraps c with fault injection; with a nil or disabled
+// injector it returns c unchanged.
+func (i *Injector) WrapConn(c net.Conn) net.Conn {
+	if !i.Enabled() {
+		return c
+	}
+	return &faultConn{Conn: c, inj: i}
+}
+
+// faultConn injects faults on a connection's Read/Write path. Faults
+// fire per call: the caller's framing (bufio flushes, io.ReadFull) maps
+// calls to frames closely enough for realistic mid-frame cuts.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+}
+
+func (f *faultConn) Read(p []byte) (int, error) {
+	i := f.inj
+	if !i.Enabled() {
+		return f.Conn.Read(p)
+	}
+	r, bits := i.roll()
+	switch {
+	case r < i.cfg.ResetProb:
+		i.rst.Add(1)
+		f.Conn.Close()
+		return 0, ErrInjectedReset
+	case r < i.cfg.ResetProb+i.cfg.DelayProb:
+		i.dly.Add(1)
+		time.Sleep(i.cfg.Delay)
+	}
+	_ = bits
+	return f.Conn.Read(p)
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	i := f.inj
+	if !i.Enabled() {
+		return f.Conn.Write(p)
+	}
+	r, bits := i.roll()
+	c := i.cfg
+	switch {
+	case r < c.ResetProb:
+		i.rst.Add(1)
+		f.Conn.Close()
+		return 0, ErrInjectedReset
+	case r < c.ResetProb+c.PartialWriteProb:
+		i.part.Add(1)
+		cut := 0
+		if len(p) > 1 {
+			cut = int(bits % uint64(len(p)))
+		}
+		n, err := f.Conn.Write(p[:cut])
+		f.Conn.Close()
+		if err == nil {
+			err = ErrInjectedReset
+		}
+		return n, err
+	case r < c.ResetProb+c.PartialWriteProb+c.CorruptProb && len(p) > 0:
+		i.corr.Add(1)
+		// Flip one bit in a copy: the caller's buffer must stay intact
+		// (a client retransmits it from its replay buffer).
+		dirty := make([]byte, len(p))
+		copy(dirty, p)
+		pos := bits % uint64(len(p))
+		dirty[pos] ^= 1 << (bits >> 32 % 8)
+		return f.Conn.Write(dirty)
+	case r < c.ResetProb+c.PartialWriteProb+c.CorruptProb+c.DelayProb:
+		i.dly.Add(1)
+		time.Sleep(c.Delay)
+	}
+	return f.Conn.Write(p)
+}

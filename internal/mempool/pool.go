@@ -448,6 +448,20 @@ func (p *Pool) Utilization(t memsim.Tier) float64 {
 	return float64(p.Used(t)) / float64(c)
 }
 
+// Pressure is the pool's overall memory pressure: the worst utilization
+// across tiers. It is the admission-control signal — a server sheds new
+// connections when any tier is nearly exhausted, since a fresh stream
+// would only deepen the deficit.
+func (p *Pool) Pressure() float64 {
+	max := 0.0
+	for t := memsim.Tier(0); t < 2; t++ {
+		if u := p.Utilization(t); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
 // Stats returns a snapshot of allocator counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()

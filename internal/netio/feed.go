@@ -24,6 +24,16 @@ type batch struct {
 	retire bool
 }
 
+// feedCursor is one source's watermark state. A parked cursor belongs
+// to a session whose connection has been gone past the cursor grace
+// period: its timestamp still advances if late batches drain through,
+// but it no longer holds the feed watermark down — window closes
+// proceed without it until a resume unparks it.
+type feedCursor struct {
+	ts     uint64
+	parked bool
+}
+
 // Feed buffers decoded record batches between the ingest server and the
 // native runtime, implementing runtime.ExternalFeed. It also tracks the
 // stream's event-time watermark the way a multi-source streaming system
@@ -47,7 +57,7 @@ type Feed struct {
 	stop   chan struct{} // closed when the server begins shutdown
 
 	mu      sync.Mutex
-	cursors map[int64]uint64
+	cursors map[int64]*feedCursor
 	highTs  uint64 // max delivered timestamp ever (watermark once all conns retire)
 
 	// pool owns the column slabs behind every batch. Until UsePool
@@ -69,7 +79,7 @@ func NewFeed(schema bundle.Schema, buffer int) *Feed {
 		schema:  schema,
 		ch:      make(chan batch, buffer),
 		stop:    make(chan struct{}),
-		cursors: make(map[int64]uint64),
+		cursors: make(map[int64]*feedCursor),
 	}
 }
 
@@ -86,8 +96,42 @@ func (f *Feed) Schema() bundle.Schema { return f.schema }
 // feed watermark until the connection's data starts flowing.
 func (f *Feed) register(conn int64) {
 	f.mu.Lock()
-	f.cursors[conn] = 0
+	f.cursors[conn] = &feedCursor{}
 	f.mu.Unlock()
+}
+
+// park marks a cursor as no longer holding the feed watermark — the
+// stale-cursor expiry for a session whose connection has been gone past
+// the grace period. Idempotent; a missing cursor is a no-op.
+func (f *Feed) park(conn int64) {
+	f.mu.Lock()
+	if c, ok := f.cursors[conn]; ok {
+		c.parked = true
+	}
+	f.mu.Unlock()
+}
+
+// unpark restores a parked cursor into the watermark minimum — a
+// session resumed. Idempotent; a missing cursor is a no-op.
+func (f *Feed) unpark(conn int64) {
+	f.mu.Lock()
+	if c, ok := f.cursors[conn]; ok {
+		c.parked = false
+	}
+	f.mu.Unlock()
+}
+
+// liveCursors returns the number of registered cursors and how many of
+// them are parked (for tests and leak checks).
+func (f *Feed) liveCursors() (total, parked int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.cursors {
+		if c.parked {
+			parked++
+		}
+	}
+	return len(f.cursors), parked
 }
 
 // push delivers a batch, blocking while the buffer is full. It returns
@@ -115,10 +159,10 @@ func (f *Feed) retire(conn int64) {
 }
 
 func (f *Feed) retireLocked(conn int64) {
-	if ts, ok := f.cursors[conn]; ok {
+	if c, ok := f.cursors[conn]; ok {
 		delete(f.cursors, conn)
-		if ts > f.highTs {
-			f.highTs = ts
+		if c.ts > f.highTs {
+			f.highTs = c.ts
 		}
 	}
 }
@@ -167,8 +211,8 @@ func (f *Feed) Recv(maxWait time.Duration) ([][]uint64, bool, bool) {
 			f.mu.Unlock()
 			continue
 		}
-		if cur, live := f.cursors[b.conn]; live && b.maxTs > cur {
-			f.cursors[b.conn] = b.maxTs
+		if cur, live := f.cursors[b.conn]; live && b.maxTs > cur.ts {
+			cur.ts = b.maxTs
 		}
 		if b.maxTs > f.highTs {
 			f.highTs = b.maxTs
@@ -253,20 +297,26 @@ func (f *Feed) getHeader() [][]uint64 {
 }
 
 // Watermark implements runtime.ExternalFeed: the minimum cursor over
-// live connections, or the highest delivered timestamp once none remain.
+// live, unparked connections — or the highest delivered timestamp once
+// none remain (all retired, or every survivor parked past its grace
+// period). Parked cursors deliberately drop out of the minimum so one
+// silent session cannot stall every window close.
 func (f *Feed) Watermark() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if len(f.cursors) == 0 {
-		return f.highTs
-	}
 	first := true
 	var min uint64
-	for _, ts := range f.cursors {
-		if first || ts < min {
-			min = ts
+	for _, c := range f.cursors {
+		if c.parked {
+			continue
+		}
+		if first || c.ts < min {
+			min = c.ts
 			first = false
 		}
+	}
+	if first {
+		return f.highTs
 	}
 	return min
 }

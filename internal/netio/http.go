@@ -89,6 +89,13 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	gauge("streambox_ingest_dropped_records_total", "", m.Ingest.DroppedRecords)
 	gauge("streambox_ingest_decode_errors_total", "", m.Ingest.DecodeErrors)
 	gauge("streambox_ingest_checksum_errors_total", "", m.Ingest.ChecksumErrors)
+	gauge("streambox_ingest_sessions_active", "", m.Ingest.ActiveSessions)
+	gauge("streambox_ingest_sessions_resumed_total", "", m.Ingest.SessionsResumed)
+	gauge("streambox_ingest_sessions_expired_total", "", m.Ingest.ExpiredSessions)
+	gauge("streambox_ingest_duplicate_frames_total", "", m.Ingest.DuplicateFrames)
+	gauge("streambox_ingest_shed_connections_total", "", m.Ingest.ShedConns)
+	gauge("streambox_ingest_parked_cursors", "", m.Ingest.ParkedCursors)
+	gauge("streambox_ingest_idle_timeouts_total", "", m.Ingest.IdleTimeouts)
 	for f, n := range m.Ingest.FramesByFormat {
 		gauge("streambox_ingest_format_frames_total", `format="`+formatLabel[f]+`"`, n)
 	}

@@ -22,19 +22,19 @@ import (
 
 func TestWireRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeHello(&buf, parsefmt.PB, 1); err != nil {
+	if err := writeHello(&buf, parsefmt.PB, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	f, version, status, err := readHello(&buf, Version)
-	if err != nil || status != statusOK || f != parsefmt.PB || version != 1 {
-		t.Fatalf("hello round trip: %v v%d %d %v", f, version, status, err)
+	f, version, flags, status, err := readHello(&buf, Version)
+	if err != nil || status != statusOK || f != parsefmt.PB || version != 1 || flags != 0 {
+		t.Fatalf("hello round trip: %v v%d flags %d %d %v", f, version, flags, status, err)
 	}
 
 	buf.Reset()
-	writeHello(&buf, parsefmt.Columnar, Version)
-	f, version, status, err = readHello(&buf, Version)
-	if err != nil || status != statusOK || f != parsefmt.Columnar || version != Version {
-		t.Fatalf("columnar hello round trip: %v v%d %d %v", f, version, status, err)
+	writeHello(&buf, parsefmt.Columnar, Version, helloFlagSession)
+	f, version, flags, status, err = readHello(&buf, Version)
+	if err != nil || status != statusOK || f != parsefmt.Columnar || version != Version || flags != helloFlagSession {
+		t.Fatalf("columnar hello round trip: %v v%d flags %d %d %v", f, version, flags, status, err)
 	}
 
 	buf.Reset()
@@ -64,21 +64,21 @@ func TestWireRoundTrip(t *testing.T) {
 }
 
 func TestWireRejectsBadHandshake(t *testing.T) {
-	if _, _, status, err := readHello(strings.NewReader("XXXX\x01\x00\x00\x00"), Version); err == nil || status != statusBadMagic {
+	if _, _, _, status, err := readHello(strings.NewReader("XXXX\x01\x00\x00\x00"), Version); err == nil || status != statusBadMagic {
 		t.Fatalf("bad magic accepted (status %d)", status)
 	}
-	if _, _, status, err := readHello(strings.NewReader("SBX1\x09\x00\x00\x00"), Version); err == nil || status != statusBadMagic {
+	if _, _, _, status, err := readHello(strings.NewReader("SBX1\x09\x00\x00\x00"), Version); err == nil || status != statusBadMagic {
 		t.Fatalf("future version accepted (status %d)", status)
 	}
-	if _, _, status, err := readHello(strings.NewReader("SBX1\x01\x09\x00\x00"), Version); err == nil || status != statusBadFormat {
+	if _, _, _, status, err := readHello(strings.NewReader("SBX1\x01\x09\x00\x00"), Version); err == nil || status != statusBadFormat {
 		t.Fatalf("bad format accepted (status %d)", status)
 	}
 	// A version-1 hello cannot carry the columnar format…
-	if _, version, status, err := readHello(strings.NewReader("SBX1\x01\x03\x00\x00"), Version); err == nil || status != statusBadFormat || version != 1 {
+	if _, version, _, status, err := readHello(strings.NewReader("SBX1\x01\x03\x00\x00"), Version); err == nil || status != statusBadFormat || version != 1 {
 		t.Fatalf("columnar-on-v1 accepted (status %d, v%d)", status, version)
 	}
 	// …and neither can a version-2 hello against a version-1 server.
-	if _, version, status, err := readHello(strings.NewReader("SBX1\x02\x03\x00\x00"), 1); err == nil || status != statusBadFormat || version != 1 {
+	if _, version, _, status, err := readHello(strings.NewReader("SBX1\x02\x03\x00\x00"), 1); err == nil || status != statusBadFormat || version != 1 {
 		t.Fatalf("columnar against v1 server accepted (status %d, v%d)", status, version)
 	}
 	var buf bytes.Buffer
@@ -99,11 +99,11 @@ func TestWireRejectsBadHandshake(t *testing.T) {
 // hello bytes.
 func TestHelloV1BitCompat(t *testing.T) {
 	var hello bytes.Buffer
-	writeHello(&hello, parsefmt.PB, helloVersionFor(parsefmt.PB))
+	writeHello(&hello, parsefmt.PB, helloVersionFor(parsefmt.PB, false), 0)
 	if got, want := hello.Bytes(), []byte("SBX1\x01\x01\x00\x00"); !bytes.Equal(got, want) {
 		t.Fatalf("row hello bytes % x, want % x", got, want)
 	}
-	f, version, status, err := readHello(bytes.NewReader(hello.Bytes()), Version)
+	f, version, _, status, err := readHello(bytes.NewReader(hello.Bytes()), Version)
 	if err != nil || status != statusOK || f != parsefmt.PB || version != 1 {
 		t.Fatalf("v2 server on v1 hello: %v v%d %d %v", f, version, status, err)
 	}

@@ -3,18 +3,19 @@ package netio
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/bits"
 	"net"
+	"os"
 	goruntime "runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"streambox/internal/faultinject"
 	"streambox/internal/parsefmt"
 )
 
@@ -53,6 +54,31 @@ type ServerConfig struct {
 	Overloaded func() bool
 	// HandshakeTimeout bounds the wait for a client hello (0 picks 10s).
 	HandshakeTimeout time.Duration
+	// IdleTimeout bounds the steady-state wait for the next frame from a
+	// connected client; a connection silent past it is severed (and, in
+	// session mode, left for the reaper to park and expire). Zero
+	// disables the deadline — the pre-fault-tolerance behavior.
+	IdleTimeout time.Duration
+	// CursorGrace is how long a detached session's watermark cursor keeps
+	// holding window closes before it is parked (excluded from the
+	// watermark minimum). Zero picks 10s; negative disables parking.
+	CursorGrace time.Duration
+	// SessionTimeout is how long a detached session stays resumable
+	// before it is expired and its cursor retired. Zero picks 120s;
+	// negative disables expiry.
+	SessionTimeout time.Duration
+	// MaxConns caps concurrently served connections; a handshake past
+	// the cap is shed with a statusOverloaded ack. Zero means unlimited.
+	MaxConns int
+	// ShedPressure, when non-nil, sheds *new* handshakes while it
+	// returns true (wired to mempool pressure past the shedding
+	// threshold). Deliberately separate from Overloaded, which throttles
+	// established connections by withholding credit instead.
+	ShedPressure func() bool
+	// Faults, when non-nil and enabled, wraps every accepted connection
+	// with the fault injector (chaos testing: delayed acks, injected
+	// resets on the server side of the pipe).
+	Faults *faultinject.Injector
 }
 
 // Counters is one scrape of the server's aggregate ingest counters.
@@ -76,6 +102,26 @@ type Counters struct {
 	// rather than a confused or hostile sender.
 	DecodeErrors   int64
 	ChecksumErrors int64
+	// SessionsResumed counts successful resume handshakes (a client
+	// reattaching to its session after a connection loss);
+	// ActiveSessions is the current number of live sessions.
+	SessionsResumed int64
+	ActiveSessions  int64
+	// DuplicateFrames counts replayed frames discarded by sequence-number
+	// dedup — frames the client retransmitted because the ack for the
+	// first copy was lost with the connection.
+	DuplicateFrames int64
+	// ShedConns counts handshakes refused by admission control (MaxConns
+	// or ShedPressure) with a statusOverloaded ack.
+	ShedConns int64
+	// ExpiredSessions counts detached sessions reaped past
+	// SessionTimeout; ParkedCursors is the current number of watermark
+	// cursors parked past CursorGrace (no longer stalling window closes).
+	ExpiredSessions int64
+	ParkedCursors   int64
+	// IdleTimeouts counts connections severed by the steady-state
+	// IdleTimeout read deadline.
+	IdleTimeouts int64
 }
 
 // ConnCounters is one connection's view for /metrics.
@@ -92,14 +138,28 @@ type ConnCounters struct {
 	// credits granted minus frames consumed — how many frames the
 	// client may still send before blocking.
 	CreditWindow int64
+	// Session is true for a resumable (version >= 3, sequenced) stream;
+	// DuplicateFrames counts its replayed frames discarded by dedup.
+	Session         bool
+	DuplicateFrames int64
 }
 
-// serverConn is one accepted connection's state.
+// serverConn is one accepted connection's state. key identifies the
+// accepted socket; id is the feed watermark cursor, which a resumable
+// session keeps stable across its connections (so key != id after a
+// resume).
 type serverConn struct {
+	key     int64
 	id      int64
 	conn    net.Conn
 	format  parsefmt.Format
 	version byte
+	sess    *session // nil outside session mode
+
+	// cleanEOS is set by the serve loop on a clean end-of-stream marker,
+	// read by the handler's exit path (same goroutine) to decide between
+	// retiring the session and leaving it resumable.
+	cleanEOS bool
 
 	frames   atomic.Int64
 	ingested atomic.Int64
@@ -107,7 +167,12 @@ type serverConn struct {
 	decErrs  atomic.Int64
 	chkErrs  atomic.Int64
 	granted  atomic.Int64
+	dups     atomic.Int64
 }
+
+// session reports whether the connection carries a resumable sequenced
+// stream.
+func (c *serverConn) session() bool { return c.sess != nil }
 
 // Server is the TCP ingest listener: per-connection framed decoding,
 // credit-based flow control, and counters.
@@ -123,7 +188,10 @@ type Server struct {
 	pending map[net.Conn]struct{} // accepted, handshake not yet complete
 	nextID  int64
 
-	wg      sync.WaitGroup // acceptors + connection handlers
+	sessions *sessionTable
+	stopC    chan struct{} // closed when shutdown begins; stops the reaper
+
+	wg      sync.WaitGroup // acceptors + connection handlers + reaper
 	closing atomic.Bool
 	closed  sync.Once
 
@@ -134,6 +202,11 @@ type Server struct {
 	dropped     atomic.Int64
 	decErrs     atomic.Int64
 	chkErrs     atomic.Int64
+	resumed     atomic.Int64
+	dups        atomic.Int64
+	shed        atomic.Int64
+	expired     atomic.Int64
+	idleTOs     atomic.Int64
 
 	// frameLog2 tracks, per format, the log2 of the largest frame seen —
 	// a one-word histogram summary that sizes new connections' buffered
@@ -171,6 +244,12 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
+	if cfg.CursorGrace == 0 {
+		cfg.CursorGrace = 10 * time.Second
+	}
+	if cfg.SessionTimeout == 0 {
+		cfg.SessionTimeout = 120 * time.Second
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -181,12 +260,69 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		decodeSem: make(chan struct{}, cfg.DecodeWorkers),
 		conns:     make(map[int64]*serverConn),
 		pending:   make(map[net.Conn]struct{}),
+		sessions:  newSessionTable(),
+		stopC:     make(chan struct{}),
 	}
 	for i := 0; i < cfg.AcceptShards; i++ {
 		s.wg.Add(1)
 		go s.acceptLoop()
 	}
+	s.wg.Add(1)
+	go s.reaper()
 	return s, nil
+}
+
+// reapInterval picks how often the reaper scans detached sessions: a
+// quarter of the shortest enabled deadline, clamped to [5ms, 500ms].
+func (s *Server) reapInterval() time.Duration {
+	d := 500 * time.Millisecond
+	if g := s.cfg.CursorGrace; g > 0 && g/4 < d {
+		d = g / 4
+	}
+	if t := s.cfg.SessionTimeout; t > 0 && t/4 < d {
+		d = t / 4
+	}
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	return d
+}
+
+// reaper walks detached sessions: past CursorGrace it parks the
+// session's watermark cursor so one silent client cannot stall every
+// window close; past SessionTimeout it expires the session outright,
+// retiring the cursor. Both scans are disabled by negative config.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	if s.cfg.CursorGrace < 0 && s.cfg.SessionTimeout < 0 {
+		<-s.stopC
+		return
+	}
+	tick := time.NewTicker(s.reapInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopC:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for _, ss := range s.sessions.snapshot() {
+			if s.cfg.SessionTimeout > 0 && ss.staleFor(now) > s.cfg.SessionTimeout {
+				if s.sessions.expire(ss) {
+					// No handler is alive to push a retire sentinel;
+					// remove the cursor directly. Queued batches from
+					// the dead connection still fold into highTs.
+					s.cfg.Feed.retire(ss.id)
+					s.expired.Add(1)
+				}
+				continue
+			}
+			if s.cfg.CursorGrace > 0 {
+				ss.parkIfStale(now, s.cfg.CursorGrace, s.cfg.Feed)
+			}
+		}
+	}
 }
 
 // Addr returns the listener address.
@@ -199,6 +335,7 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.closing.Store(true)
+		close(s.stopC)
 		s.cfg.Feed.beginShutdown()
 		s.ln.Close()
 		s.mu.Lock()
@@ -210,8 +347,34 @@ func (s *Server) Close() {
 		}
 		s.mu.Unlock()
 		s.wg.Wait()
+		// Every handler and the reaper have exited; retire the cursors of
+		// sessions left detached so nothing leaks into the final drain.
+		for _, ss := range s.sessions.snapshot() {
+			s.sessions.remove(ss)
+			s.cfg.Feed.retire(ss.id)
+		}
 		s.cfg.Feed.closeSend()
 	})
+}
+
+// Drain is the ordered graceful shutdown: stop accepting immediately,
+// wait up to grace for in-flight streams to finish cleanly (clients
+// sending their end-of-stream markers), then Close — which severs
+// whatever remains and flushes the feed so the runtime drains its
+// windows. Safe to call concurrently with Close.
+func (s *Server) Drain(grace time.Duration) {
+	s.ln.Close() // acceptors exit on net.ErrClosed
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) && !s.closing.Load() {
+		s.mu.Lock()
+		n := len(s.conns) + len(s.pending)
+		s.mu.Unlock()
+		if n == 0 && s.sessions.count() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Close()
 }
 
 // Counters returns the aggregate ingest counters.
@@ -219,6 +382,7 @@ func (s *Server) Counters() Counters {
 	s.mu.Lock()
 	active := int64(len(s.conns))
 	s.mu.Unlock()
+	_, parked := s.cfg.Feed.liveCursors()
 	c := Counters{
 		Conns:           s.accepted.Load(),
 		ActiveConns:     active,
@@ -227,6 +391,13 @@ func (s *Server) Counters() Counters {
 		DroppedRecords:  s.dropped.Load(),
 		DecodeErrors:    s.decErrs.Load(),
 		ChecksumErrors:  s.chkErrs.Load(),
+		SessionsResumed: s.resumed.Load(),
+		ActiveSessions:  int64(s.sessions.count()),
+		DuplicateFrames: s.dups.Load(),
+		ShedConns:       s.shed.Load(),
+		ExpiredSessions: s.expired.Load(),
+		ParkedCursors:   int64(parked),
+		IdleTimeouts:    s.idleTOs.Load(),
 	}
 	for i := range c.FramesByFormat {
 		c.FramesByFormat[i] = s.framesByFmt[i].Load()
@@ -251,6 +422,8 @@ func (s *Server) ConnCounters() []ConnCounters {
 			DecodeErrors:    c.decErrs.Load(),
 			ChecksumErrors:  c.chkErrs.Load(),
 			CreditWindow:    c.granted.Load() - c.frames.Load(),
+			Session:         c.session(),
+			DuplicateFrames: c.dups.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -308,13 +481,32 @@ func (s *Server) readBufSize(f parsefmt.Format) int {
 	return size
 }
 
-// handle runs one connection: handshake, then the frame/credit loop.
+// shouldShed is the admission-control decision for one completed hello:
+// shed when the connection count is at the cap or the pressure signal
+// says the engine is past its memory headroom. Established connections
+// are never shed — they are throttled through credit withholding
+// (Overloaded) instead.
+func (s *Server) shouldShed() bool {
+	if s.cfg.MaxConns > 0 {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n >= s.cfg.MaxConns {
+			return true
+		}
+	}
+	return s.cfg.ShedPressure != nil && s.cfg.ShedPressure()
+}
+
+// handle runs one connection: handshake (hello, admission, optional
+// session resume), then the frame/credit loop.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	conn = s.cfg.Faults.WrapConn(conn)
 
 	s.mu.Lock()
 	if s.closing.Load() {
@@ -325,7 +517,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Unlock()
 
 	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
-	format, version, status, err := readHello(conn, byte(s.cfg.MaxVersion))
+	format, version, flags, status, err := readHello(conn, byte(s.cfg.MaxVersion))
 	s.mu.Lock()
 	delete(s.pending, conn)
 	s.mu.Unlock()
@@ -333,35 +525,122 @@ func (s *Server) handle(conn net.Conn) {
 		writeAck(conn, version, status, 0)
 		return
 	}
+	if s.shouldShed() {
+		s.shed.Add(1)
+		writeAck(conn, version, statusOverloaded, 0)
+		return
+	}
+
+	if writeAck(conn, version, statusOK, uint16(s.cfg.FrameCredits)) != nil {
+		return
+	}
+
+	// Session phase: a version >= 3 client that set the session flag now
+	// sends its resume request (still under the handshake deadline).
+	sessionMode := version >= 3 && flags&helloFlagSession != 0
+	var sess *session
+	freshSession := false
+	if sessionMode {
+		token, err := readResume(conn)
+		if err != nil {
+			return
+		}
+		if token == 0 {
+			freshSession = true
+			s.mu.Lock()
+			if s.closing.Load() {
+				s.mu.Unlock()
+				return
+			}
+			s.nextID++
+			id := s.nextID
+			s.mu.Unlock()
+			sess = s.sessions.create(id)
+			s.cfg.Feed.register(id)
+		} else {
+			sess = s.sessions.lookup(token)
+			if sess == nil {
+				// Unknown or expired: the client cannot resume
+				// exactly-once; tell it so and close.
+				writeSessionGrant(conn, 0, 0)
+				return
+			}
+			s.resumed.Add(1)
+		}
+	}
 	conn.SetReadDeadline(time.Time{})
 
 	s.mu.Lock()
 	if s.closing.Load() {
 		s.mu.Unlock()
+		if freshSession {
+			// Fresh session created above but the server is closing and
+			// Close may already have walked the table; clean up here.
+			s.sessions.remove(sess)
+			s.cfg.Feed.retire(sess.id)
+		}
 		return
 	}
 	s.nextID++
-	c := &serverConn{id: s.nextID, conn: conn, format: format, version: version}
+	c := &serverConn{key: s.nextID, conn: conn, format: format, version: version, sess: sess}
+	if sess != nil {
+		c.id = sess.id
+	} else {
+		c.id = c.key
+	}
 	c.granted.Store(int64(s.cfg.FrameCredits))
-	s.conns[c.id] = c
+	s.conns[c.key] = c
 	s.mu.Unlock()
-	s.cfg.Feed.register(c.id)
+
+	if sess != nil {
+		old, ok := sess.attach(c, s.cfg.Feed)
+		if !ok {
+			// Lost the race with expiry between lookup and attach.
+			s.mu.Lock()
+			delete(s.conns, c.key)
+			s.mu.Unlock()
+			writeSessionGrant(conn, 0, 0)
+			return
+		}
+		if old != nil {
+			old.conn.Close() // takeover: sever the half-open predecessor
+		}
+	} else {
+		s.cfg.Feed.register(c.id)
+	}
 
 	defer func() {
-		// Ordered cursor retirement: the sentinel travels the feed
-		// behind the connection's last batch, so the watermark cannot
-		// pass data still queued. During shutdown the direct path
-		// removes the cursor instead.
-		if !s.cfg.Feed.push(batch{conn: c.id, retire: true}) {
-			s.cfg.Feed.retire(c.id)
-		}
 		s.mu.Lock()
-		delete(s.conns, c.id)
+		delete(s.conns, c.key)
 		s.mu.Unlock()
+		switch {
+		case sess == nil:
+			// Ordered cursor retirement: the sentinel travels the feed
+			// behind the connection's last batch, so the watermark
+			// cannot pass data still queued. During shutdown the direct
+			// path removes the cursor instead.
+			if !s.cfg.Feed.push(batch{conn: c.id, retire: true}) {
+				s.cfg.Feed.retire(c.id)
+			}
+		case c.cleanEOS:
+			// Clean end of stream ends the session for good.
+			s.sessions.remove(sess)
+			if !s.cfg.Feed.push(batch{conn: c.id, retire: true}) {
+				s.cfg.Feed.retire(c.id)
+			}
+		default:
+			// Abnormal exit: leave the session resumable, its cursor
+			// live. The reaper parks and eventually expires it; a
+			// detach that fails means another connection already took
+			// the session over and owns the cursor now.
+			sess.detach(c)
+		}
 	}()
 
-	if writeAck(conn, version, statusOK, uint16(s.cfg.FrameCredits)) != nil {
-		return
+	if sess != nil {
+		if writeSessionGrant(conn, sess.token, sess.lastSeq.Load()) != nil {
+			return
+		}
 	}
 
 	br := bufio.NewReaderSize(conn, s.readBufSize(format))
@@ -369,6 +648,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.serveColumnar(c, br)
 	} else {
 		s.serveRows(c, br)
+	}
+}
+
+// armIdle sets the steady-state read deadline before one frame read;
+// noteReadErr classifies the read error that ends a serve loop.
+func (s *Server) armIdle(c *serverConn) {
+	if s.cfg.IdleTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+}
+
+func (s *Server) noteReadErr(err error) {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		s.idleTOs.Add(1)
 	}
 }
 
@@ -383,7 +676,15 @@ func (s *Server) grantCredit(c *serverConn) bool {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if writeCredit(c.conn, 1) != nil {
+	var err error
+	if c.session() {
+		// The session grant doubles as the cumulative ack: lastSeq lets
+		// the client trim its replay buffer.
+		err = writeCreditAck(c.conn, 1, c.sess.lastSeq.Load())
+	} else {
+		err = writeCredit(c.conn, 1)
+	}
+	if err != nil {
 		return false
 	}
 	c.granted.Add(1)
@@ -404,15 +705,22 @@ func (s *Server) countDecodeError(c *serverConn) {
 // delivery sequential, which the feed's watermark cursors require.
 func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 	schema := s.cfg.Feed.Schema()
-	var lenBuf [4]byte
 	var hdrBuf [parsefmt.ColumnarHeaderBytes]byte
+	session := c.session()
+	var expect uint64
+	if session {
+		expect = c.sess.lastSeq.Load() + 1
+	}
 	for {
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return // peer gone
+		s.armIdle(c)
+		size, seq, eos, err := readFrameHeader(br, session)
+		if err != nil {
+			s.noteReadErr(err)
+			return // peer gone or idle-timed out
 		}
-		size := int64(binary.BigEndian.Uint32(lenBuf[:]))
-		if size == 0 {
-			return // clean end of stream
+		if eos {
+			c.cleanEOS = true
+			return
 		}
 		if size > int64(s.cfg.MaxFrameBytes) {
 			s.countDecodeError(c)
@@ -423,7 +731,31 @@ func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 		s.framesByFmt[parsefmt.Columnar].Add(1)
 		s.noteFrameSize(parsefmt.Columnar, int(size))
 
+		if session {
+			if seq < expect {
+				// A replayed frame the server already ingested under a
+				// previous connection: discard, but still re-grant the
+				// credit it consumed.
+				if _, err := io.CopyN(io.Discard, br, size); err != nil {
+					return
+				}
+				s.dups.Add(1)
+				c.dups.Add(1)
+				if !s.grantCredit(c) {
+					return
+				}
+				continue
+			}
+			if seq != expect {
+				return // sequence gap: sever so the client replays
+			}
+		}
+
 		if size < parsefmt.ColumnarHeaderBytes {
+			if session {
+				s.countDecodeError(c)
+				return // can't trust the stream; the client replays
+			}
 			if _, err := io.CopyN(io.Discard, br, size); err != nil {
 				return
 			}
@@ -439,8 +771,15 @@ func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 		body := size - parsefmt.ColumnarHeaderBytes
 		hdr, err := parsefmt.ParseColumnarHeader(hdrBuf[:])
 		if err != nil || hdr.NCols != schema.NumCols || parsefmt.ColumnarDataBytes(hdr.NCols, hdr.NRows) != body {
-			// Malformed geometry: drop the frame's remaining bytes and
-			// keep the connection — the framing layer is still intact.
+			// Malformed geometry. A sessionless connection drops the
+			// frame's remaining bytes and keeps going — the framing
+			// layer is still intact. A session severs without advancing
+			// lastSeq: the client retransmits the frame, which is how a
+			// corrupted-in-flight frame gets delivered after all.
+			if session {
+				s.countDecodeError(c)
+				return
+			}
 			if _, err := io.CopyN(io.Discard, br, body); err != nil {
 				return
 			}
@@ -468,6 +807,9 @@ func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 			s.cfg.Feed.Recycle(cols)
 			s.chkErrs.Add(1)
 			c.chkErrs.Add(1)
+			if session {
+				return // sever without advancing: the client replays
+			}
 			if !s.grantCredit(c) {
 				return
 			}
@@ -488,17 +830,28 @@ func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 		}
 		s.ingested.Add(n)
 		c.ingested.Add(n)
+		if session {
+			c.sess.lastSeq.Store(seq)
+			expect = seq + 1
+		}
 		if !s.grantCredit(c) {
 			return
 		}
 	}
 }
 
+// rowFrame is one received row-format frame riding the work channel to
+// the decode goroutine, carrying its sequence number in session mode.
+type rowFrame struct {
+	payload []byte
+	seq     uint64
+}
+
 // serveRows runs a row-format connection: the socket read loop and the
 // decoder are pipelined over a small ring of frame buffers, so the next
 // frame streams in while the previous one parses.
 func (s *Server) serveRows(c *serverConn, br *bufio.Reader) {
-	work := make(chan []byte, rowPipelineDepth)
+	work := make(chan rowFrame, rowPipelineDepth)
 	free := make(chan []byte, rowPipelineDepth)
 	for i := 0; i < rowPipelineDepth; i++ {
 		free <- nil
@@ -509,20 +862,63 @@ func (s *Server) serveRows(c *serverConn, br *bufio.Reader) {
 		close(work)
 		<-done
 	}()
+	session := c.session()
+	// expect is the read loop's local dedup line: it runs ahead of the
+	// session's lastSeq by the frames still in the decode pipeline, so
+	// an in-order frame behind an undecoded one is not mistaken for a
+	// gap. lastSeq itself only advances once the decoder consumes the
+	// frame.
+	var expect uint64
+	if session {
+		expect = c.sess.lastSeq.Load() + 1
+	}
 	for {
 		buf := <-free
-		payload, eos, err := readFrame(br, buf, s.cfg.MaxFrameBytes)
-		if err != nil || eos {
-			if errors.Is(err, errFrameTooBig) {
-				s.countDecodeError(c)
-			}
-			return // clean EOS, peer gone, or oversized frame
+		s.armIdle(c)
+		size, seq, eos, err := readFrameHeader(br, session)
+		if err != nil {
+			s.noteReadErr(err)
+			return // peer gone or idle-timed out
+		}
+		if eos {
+			c.cleanEOS = true
+			return
+		}
+		if size > int64(s.cfg.MaxFrameBytes) {
+			s.countDecodeError(c)
+			return // oversized frame
 		}
 		s.frames.Add(1)
 		c.frames.Add(1)
 		s.framesByFmt[c.format].Add(1)
-		s.noteFrameSize(c.format, len(payload))
-		work <- payload
+		s.noteFrameSize(c.format, int(size))
+		if session {
+			if seq < expect {
+				// Replayed frame already ingested: discard and re-grant.
+				if _, err := io.CopyN(io.Discard, br, size); err != nil {
+					return
+				}
+				s.dups.Add(1)
+				c.dups.Add(1)
+				free <- buf
+				if !s.grantCredit(c) {
+					return
+				}
+				continue
+			}
+			if seq != expect {
+				return // sequence gap: sever so the client replays
+			}
+			expect = seq + 1
+		}
+		if cap(buf) < int(size) {
+			buf = make([]byte, size)
+		}
+		payload := buf[:size]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return // truncated mid-frame: peer gone
+		}
+		work <- rowFrame{payload: payload, seq: seq}
 	}
 }
 
@@ -533,18 +929,18 @@ func (s *Server) serveRows(c *serverConn, br *bufio.Reader) {
 // advances per delivered batch, so reordering could close a window past
 // records still in flight. On a fatal condition it severs the
 // connection (unblocking the read loop) and drains remaining buffers.
-func (s *Server) decodeRows(c *serverConn, work, free chan []byte, done chan struct{}) {
+func (s *Server) decodeRows(c *serverConn, work chan rowFrame, free chan []byte, done chan struct{}) {
 	defer close(done)
 	fatal := false
-	for payload := range work {
+	for fr := range work {
 		if fatal {
-			free <- payload
+			free <- fr.payload
 			continue
 		}
 		s.decodeSem <- struct{}{}
-		cols, maxTs := s.decodeFrame(c, payload)
+		cols, maxTs := s.decodeFrame(c, fr.payload)
 		<-s.decodeSem
-		free <- payload[:cap(payload)]
+		free <- fr.payload[:cap(fr.payload)]
 		if cols != nil {
 			n := int64(len(cols[0]))
 			if s.cfg.Feed.push(batch{conn: c.id, cols: cols, maxTs: maxTs}) {
@@ -558,6 +954,13 @@ func (s *Server) decodeRows(c *serverConn, work, free chan []byte, done chan str
 				c.conn.Close()
 				continue
 			}
+		}
+		if c.session() {
+			// The frame is consumed — decoded, or counted as a decode
+			// error that a replay of the same bytes could not improve
+			// (row formats carry no checksum). Advance the cumulative
+			// ack so the client trims its replay buffer.
+			c.sess.lastSeq.Store(fr.seq)
 		}
 		if !s.grantCredit(c) {
 			fatal = true

@@ -21,10 +21,12 @@
 // an 8-byte hello:
 //
 //	offset 0: magic "SBX1"
-//	offset 4: protocol version (1 or 2)
+//	offset 4: protocol version (1, 2 or 3)
 //	offset 5: payload format: 0 JSON, 1 binary (PB), 2 text (CSV),
-//	          3 columnar (version 2 only)
-//	offset 6: reserved (2 bytes, zero)
+//	          3 columnar (version 2 and up)
+//	offset 6: flags: bit 0 requests a resumable session (version 3 and
+//	          up; reserved and zero before that)
+//	offset 7: reserved (zero)
 //
 // The server answers with an 8-byte ack:
 //
@@ -35,7 +37,8 @@
 //	offset 5: status: 0 OK, 1 bad magic/version, 2 bad format (also
 //	          returned for a columnar request the negotiated version
 //	          cannot carry — clients fall back to a row format on a
-//	          fresh connection)
+//	          fresh connection), 3 overloaded (admission control shed
+//	          the handshake; back off and redial)
 //	offset 6: initial credit grant, uint16 (frames the client may send)
 //
 // After the ack, the client sends data frames — a uint32 payload length
@@ -46,6 +49,26 @@
 // columnar format, each frame payload is exactly one parsefmt columnar
 // frame (24-byte checksummed header + little-endian column-major data;
 // see parsefmt/columnar.go for the layout).
+//
+// # Resumable sessions (version 3)
+//
+// A client that set the session flag in its hello follows the OK ack
+// with a 12-byte resume request — magic "SBXR" then a uint64 session
+// token, zero to open a fresh session — and the server answers with a
+// 20-byte session grant: magic "SBXT", the uint64 session token (zero:
+// the resumed session is unknown or expired and the connection is
+// useless), and the uint64 sequence number of the last frame it fully
+// ingested under that session. On a session connection every data
+// frame carries a uint64 sequence number between the length prefix and
+// the payload (the end-of-stream marker stays a bare zero length), and
+// every credit grant widens to a 12-byte ack — the uint32 credit count
+// followed by the uint64 cumulative last-ingested sequence. Frames at
+// or below the acked sequence are discarded by the server (duplicate
+// replay after a resume), a gap above the expected sequence severs the
+// connection so the client replays from its send buffer, and a
+// columnar checksum or geometry failure severs WITHOUT advancing the
+// ack so the replay re-delivers the damaged frame. Version-1 and
+// version-2 exchanges are carried unchanged, bit for bit.
 package netio
 
 import (
@@ -53,29 +76,74 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"streambox/internal/parsefmt"
 )
 
 // Version is the highest wire protocol version this build speaks.
-// Version 1 carries the row formats; version 2 adds columnar frames.
-const Version = 2
+// Version 1 carries the row formats; version 2 adds columnar frames;
+// version 3 adds resumable sessions (session tokens, per-frame sequence
+// numbers, cumulative acks riding the credit grants).
+const Version = 3
 
 var (
-	magicHello = [4]byte{'S', 'B', 'X', '1'}
-	magicAck   = [4]byte{'S', 'B', 'X', 'A'}
+	magicHello   = [4]byte{'S', 'B', 'X', '1'}
+	magicAck     = [4]byte{'S', 'B', 'X', 'A'}
+	magicResume  = [4]byte{'S', 'B', 'X', 'R'}
+	magicSession = [4]byte{'S', 'B', 'X', 'T'}
 )
 
 // Handshake statuses.
 const (
-	statusOK        = 0
-	statusBadMagic  = 1
-	statusBadFormat = 2
+	statusOK         = 0
+	statusBadMagic   = 1
+	statusBadFormat  = 2
+	statusOverloaded = 3
 )
+
+// helloFlagSession, set in the hello's flags byte (offset 6, reserved
+// and zero before version 3), asks for a resumable session: sequenced
+// frames, cumulative acks, and the session-token exchange after the
+// ack. Only honored when the negotiated version is >= 3.
+const helloFlagSession = 1 << 0
 
 // errFormatRejected marks an ack rejecting the requested payload
 // format — the trigger for the client's columnar→row fallback redial.
 var errFormatRejected = errors.New("netio: server rejected payload format")
+
+// ErrOverloaded marks a handshake shed by the server's admission
+// control (too many connections, or memory pressure past the shedding
+// threshold). Clients with a ReconnectConfig back off and redial;
+// others surface it.
+var ErrOverloaded = errors.New("netio: server overloaded, connection shed")
+
+// ErrSessionExpired marks a resume attempt whose session the server no
+// longer remembers (expired past SessionTimeout, or already retired by
+// a clean end of stream). Exactly-once resume is impossible: the client
+// cannot know which of its unacked frames were ingested.
+var ErrSessionExpired = errors.New("netio: session expired on server, cannot resume exactly-once")
+
+// ErrReplayOverflow marks a send-side replay buffer that filled while
+// the server withheld acks; the session can no longer guarantee replay
+// of every unacked frame.
+var ErrReplayOverflow = errors.New("netio: session replay buffer overflow")
+
+// TimeoutError is the typed error for a client-side write that missed
+// its configured deadline (ClientConfig.WriteTimeout): a stalled or
+// half-open server. It unwraps via errors.As and implements the
+// net.Error timeout contract.
+type TimeoutError struct {
+	Op    string
+	After time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("netio: %s timed out after %v", e.Op, e.After)
+}
+
+// Timeout implements the net.Error convention.
+func (e *TimeoutError) Timeout() bool { return true }
 
 // errFrameTooBig marks a frame whose declared payload exceeds the
 // server's limit; the server counts it as a decode error and severs the
@@ -87,9 +155,13 @@ var errFrameTooBig = errors.New("netio: frame exceeds size limit")
 const DefaultMaxFrameBytes = 4 << 20
 
 // helloVersionFor picks the hello version a client sends for format f:
-// columnar needs version 2; row formats stay on the version-1 exchange
-// so they interoperate bit-for-bit with version-1 servers.
-func helloVersionFor(f parsefmt.Format) byte {
+// a session request needs version 3, columnar needs at least version 2,
+// and plain row formats stay on the version-1 exchange so they
+// interoperate bit-for-bit with version-1 servers.
+func helloVersionFor(f parsefmt.Format, session bool) byte {
+	if session {
+		return Version
+	}
 	if f == parsefmt.Columnar {
 		return Version
 	}
@@ -97,11 +169,12 @@ func helloVersionFor(f parsefmt.Format) byte {
 }
 
 // writeHello sends the client's 8-byte hello.
-func writeHello(w io.Writer, f parsefmt.Format, version byte) error {
+func writeHello(w io.Writer, f parsefmt.Format, version, flags byte) error {
 	var h [8]byte
 	copy(h[:4], magicHello[:])
 	h[4] = version
 	h[5] = byte(f)
+	h[6] = flags
 	_, err := w.Write(h[:])
 	return err
 }
@@ -110,31 +183,34 @@ func writeHello(w io.Writer, f parsefmt.Format, version byte) error {
 // version, distinguishing protocol errors by ack status. The returned
 // version is the negotiated one (min of hello and maxVersion) and is
 // valid even on error, so the rejection ack echoes a version the peer
-// understands.
-func readHello(r io.Reader, maxVersion byte) (f parsefmt.Format, version byte, status byte, err error) {
+// understands. flags carries the hello's flags byte (session request);
+// it is only honored by the caller when the negotiated version >= 3,
+// since older exchanges reserved the byte as zero.
+func readHello(r io.Reader, maxVersion byte) (f parsefmt.Format, version, flags byte, status byte, err error) {
 	version = 1
 	var h [8]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
-		return 0, version, statusBadMagic, fmt.Errorf("netio: reading hello: %w", err)
+		return 0, version, 0, statusBadMagic, fmt.Errorf("netio: reading hello: %w", err)
 	}
 	if [4]byte(h[:4]) != magicHello || h[4] < 1 || h[4] > Version {
-		return 0, version, statusBadMagic, fmt.Errorf("netio: bad hello magic/version %q v%d", h[:4], h[4])
+		return 0, version, 0, statusBadMagic, fmt.Errorf("netio: bad hello magic/version %q v%d", h[:4], h[4])
 	}
 	version = h[4]
 	if version > maxVersion {
 		version = maxVersion
 	}
 	f = parsefmt.Format(h[5])
+	flags = h[6]
 	switch f {
 	case parsefmt.JSON, parsefmt.PB, parsefmt.Text:
 	case parsefmt.Columnar:
 		if version < 2 {
-			return 0, version, statusBadFormat, fmt.Errorf("netio: columnar format needs wire version 2 (negotiated %d)", version)
+			return 0, version, flags, statusBadFormat, fmt.Errorf("netio: columnar format needs wire version 2 (negotiated %d)", version)
 		}
 	default:
-		return 0, version, statusBadFormat, fmt.Errorf("netio: unknown payload format %d", h[5])
+		return 0, version, flags, statusBadFormat, fmt.Errorf("netio: unknown payload format %d", h[5])
 	}
-	return f, version, statusOK, nil
+	return f, version, flags, statusOK, nil
 }
 
 // writeAck sends the server's 8-byte ack with the negotiated version
@@ -164,9 +240,60 @@ func readAck(r io.Reader) (credits int, version byte, err error) {
 		return int(binary.BigEndian.Uint16(a[6:])), a[4], nil
 	case statusBadFormat:
 		return 0, a[4], errFormatRejected
+	case statusOverloaded:
+		return 0, a[4], ErrOverloaded
 	default:
 		return 0, a[4], fmt.Errorf("netio: server rejected handshake (status %d)", a[5])
 	}
+}
+
+// writeResume sends the client's 12-byte session request, directly
+// after a version >= 3 ack on a session-flagged hello: the token of the
+// session to resume, or zero to open a fresh one.
+func writeResume(w io.Writer, token uint64) error {
+	var b [12]byte
+	copy(b[:4], magicResume[:])
+	binary.BigEndian.PutUint64(b[4:], token)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readResume parses the session request.
+func readResume(r io.Reader) (token uint64, err error) {
+	var b [12]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("netio: reading session request: %w", err)
+	}
+	if [4]byte(b[:4]) != magicResume {
+		return 0, fmt.Errorf("netio: bad session request magic %q", b[:4])
+	}
+	return binary.BigEndian.Uint64(b[4:]), nil
+}
+
+// writeSessionGrant sends the server's 20-byte session grant: the
+// session token (the one requested, or freshly assigned; zero means the
+// requested session is unknown/expired and the connection will close)
+// and the last frame sequence number fully ingested under it — the
+// client replays everything after that seq from its replay buffer.
+func writeSessionGrant(w io.Writer, token, lastSeq uint64) error {
+	var b [20]byte
+	copy(b[:4], magicSession[:])
+	binary.BigEndian.PutUint64(b[4:], token)
+	binary.BigEndian.PutUint64(b[12:], lastSeq)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readSessionGrant parses the session grant.
+func readSessionGrant(r io.Reader) (token, lastSeq uint64, err error) {
+	var b [20]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, 0, fmt.Errorf("netio: reading session grant: %w", err)
+	}
+	if [4]byte(b[:4]) != magicSession {
+		return 0, 0, fmt.Errorf("netio: bad session grant magic %q", b[:4])
+	}
+	return binary.BigEndian.Uint64(b[4:]), binary.BigEndian.Uint64(b[12:]), nil
 }
 
 // writeFrame sends one data frame; an empty payload is the end-of-stream
@@ -182,6 +309,43 @@ func writeFrame(w io.Writer, payload []byte) error {
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// writeSeqFrame sends one sequenced data frame (session mode): the
+// uint32 payload length, the uint64 frame sequence number, then the
+// payload. The end-of-stream marker stays a bare zero length with no
+// sequence number.
+func writeSeqFrame(w io.Writer, seq uint64, payload []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrameHeader reads one frame's length prefix — and, in session
+// mode, the frame sequence number that follows it. eos is true for the
+// end-of-stream marker (which carries no sequence number).
+func readFrameHeader(r io.Reader, session bool) (size int64, seq uint64, eos bool, err error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return 0, 0, false, err
+	}
+	size = int64(binary.BigEndian.Uint32(n[:]))
+	if size == 0 {
+		return 0, 0, true, nil
+	}
+	if session {
+		var s [8]byte
+		if _, err := io.ReadFull(r, s[:]); err != nil {
+			return 0, 0, false, fmt.Errorf("netio: truncated frame seq: %w", err)
+		}
+		seq = binary.BigEndian.Uint64(s[:])
+	}
+	return size, seq, false, nil
 }
 
 // writeColumnarFrame sends one columnar data frame holding cols without
@@ -261,6 +425,27 @@ func readCredit(r io.Reader) (uint32, error) {
 		return 0, err
 	}
 	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// writeCreditAck sends a session-mode credit grant: the uint32 credit
+// extension plus the cumulative ack — the last frame sequence number
+// the server has fully ingested, which lets the client trim its replay
+// buffer.
+func writeCreditAck(w io.Writer, n uint32, lastSeq uint64) error {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[:4], n)
+	binary.BigEndian.PutUint64(b[4:], lastSeq)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readCreditAck reads a session-mode credit grant.
+func readCreditAck(r io.Reader) (n uint32, lastSeq uint64, err error) {
+	var b [12]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.BigEndian.Uint32(b[:4]), binary.BigEndian.Uint64(b[4:]), nil
 }
 
 // ParseFormat maps a format flag string to a parsefmt.Format.

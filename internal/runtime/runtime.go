@@ -56,6 +56,14 @@ import (
 // flow-control credits from clients.
 const BackpressureUtilization = 0.95
 
+// ShedUtilization is the pool pressure (worst tier utilization) above
+// which the ingest server sheds *new* connections at the handshake with
+// an overloaded ack, rather than admitting another stream it cannot
+// feed. Deliberately above BackpressureUtilization: established
+// connections are throttled first; admission is refused only when
+// throttling has not been enough.
+const ShedUtilization = 0.98
+
 // Filter keeps records whose column Col satisfies Keep; filters fuse
 // into the extraction pass.
 type Filter struct {
@@ -426,6 +434,11 @@ func (e *Execution) KnobState() (kLow, kHigh float64) { return e.x.knob.Snapshot
 // signal the ingest server's credit policy compares against
 // BackpressureUtilization.
 func (e *Execution) DRAMUtilization() float64 { return e.x.pool.Utilization(memsim.DRAM) }
+
+// MemPressure returns the pool's worst-tier utilization in [0,1] — the
+// signal the ingest server's admission control compares against
+// ShedUtilization.
+func (e *Execution) MemPressure() float64 { return e.x.pool.Pressure() }
 
 // PaneStats returns the pane-sharing counters so far: sorted pane runs
 // built and the extra window references taken on them.

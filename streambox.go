@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"time"
 
 	"streambox/internal/algo"
 	"streambox/internal/engine"
+	"streambox/internal/faultinject"
 	"streambox/internal/ingress"
 	"streambox/internal/kpa"
 	"streambox/internal/memsim"
@@ -190,6 +192,25 @@ type ServeConfig struct {
 	// FeedBuffer is the decoded-batch buffer between the ingest server
 	// and the runtime, in batches (0 picks 64).
 	FeedBuffer int
+	// IdleTimeout severs connections silent past it in steady state
+	// (session cursors are then parked and expired by the grace
+	// deadlines below). Zero disables the deadline.
+	IdleTimeout time.Duration
+	// CursorGrace is how long a disconnected session's watermark cursor
+	// keeps stalling window closes before it is parked (0 picks 10s,
+	// negative disables). SessionTimeout is how long the session stays
+	// resumable before it is expired outright (0 picks 120s, negative
+	// disables).
+	CursorGrace    time.Duration
+	SessionTimeout time.Duration
+	// MaxConns caps concurrently served ingest connections; handshakes
+	// past the cap are shed with an overloaded ack. Zero = unlimited.
+	// Independently of the cap, new connections are shed while mempool
+	// pressure exceeds runtime.ShedUtilization.
+	MaxConns int
+	// Faults, when non-nil, wraps accepted ingest connections with the
+	// fault injector (chaos testing only).
+	Faults *faultinject.Injector
 }
 
 // KNL returns the paper's Knights Landing machine (Table 3).
@@ -217,6 +238,16 @@ type Report struct {
 	// failed checksum verification.
 	DecodeErrors   int64
 	ChecksumErrors int64
+	// Fault-tolerance counters of a network serve: sessions resumed
+	// after connection loss, replayed frames discarded by dedup,
+	// handshakes shed by admission control, sessions expired after their
+	// clients never came back, and connections severed by the idle
+	// deadline. All 0 for generator sources.
+	SessionsResumed int64
+	DuplicateFrames int64
+	ShedConns       int64
+	ExpiredSessions int64
+	IdleTimeouts    int64
 	// WallSeconds is the real elapsed time of a native run (0 when
 	// simulated).
 	WallSeconds float64
@@ -786,13 +817,21 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 	feed.UsePool(exec.MemPool())
 
 	ingest, err := netio.Listen(cfg.Serve.IngestAddr, netio.ServerConfig{
-		Feed:          feed,
-		FrameCredits:  cfg.Serve.FrameCredits,
-		MaxFrameBytes: cfg.Serve.MaxFrameBytes,
-		MaxVersion:    cfg.Serve.WireVersion,
-		DecodeWorkers: cfg.Serve.DecodeWorkers,
+		Feed:           feed,
+		FrameCredits:   cfg.Serve.FrameCredits,
+		MaxFrameBytes:  cfg.Serve.MaxFrameBytes,
+		MaxVersion:     cfg.Serve.WireVersion,
+		DecodeWorkers:  cfg.Serve.DecodeWorkers,
+		IdleTimeout:    cfg.Serve.IdleTimeout,
+		CursorGrace:    cfg.Serve.CursorGrace,
+		SessionTimeout: cfg.Serve.SessionTimeout,
+		MaxConns:       cfg.Serve.MaxConns,
+		Faults:         cfg.Serve.Faults,
 		Overloaded: func() bool {
 			return exec.DRAMUtilization() > runtime.BackpressureUtilization
+		},
+		ShedPressure: func() bool {
+			return exec.MemPressure() > runtime.ShedUtilization
 		},
 	})
 	if err != nil {
@@ -904,6 +943,22 @@ func (s *Server) Shutdown() (Report, error) {
 		DroppedRecords:            ctr.DroppedRecords,
 		DecodeErrors:              ctr.DecodeErrors,
 		ChecksumErrors:            ctr.ChecksumErrors,
+		SessionsResumed:           ctr.SessionsResumed,
+		DuplicateFrames:           ctr.DuplicateFrames,
+		ShedConns:                 ctr.ShedConns,
+		ExpiredSessions:           ctr.ExpiredSessions,
+		IdleTimeouts:              ctr.IdleTimeouts,
 	}
 	return out, err
+}
+
+// DrainShutdown is the ordered graceful stop: the ingest listener
+// closes immediately (no new connections), in-flight streams get up to
+// grace to finish cleanly, then the remaining connections are severed,
+// buffered frames drain through the pipeline, every remaining window
+// closes, and the final report is returned — the SIGTERM path of
+// cmd/sbx-serve.
+func (s *Server) DrainShutdown(grace time.Duration) (Report, error) {
+	s.ingest.Drain(grace)
+	return s.Shutdown()
 }
