@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	streambox "streambox"
+	"streambox/internal/faultinject"
 )
 
 func main() {
@@ -41,6 +43,13 @@ func main() {
 	sessionTimeout := flag.Duration("session-timeout", 2*time.Minute, "expire a dead session (no more resume) after this")
 	maxConns := flag.Int("max-conns", 0, "shed ingest handshakes past this many live connections (0 = unlimited)")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "SIGTERM: wait this long for clients to finish before severing")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: session frames are fsynced before they are acked (empty disables durability)")
+	recoverDir := flag.String("recover-dir", "", "recover from this WAL directory before serving (implies -wal-dir into the same directory)")
+	ckInterval := flag.Duration("checkpoint-interval", time.Second, "recovery checkpoint cadence with a WAL attached")
+	crashAfter := flag.Int64("crash-after-bytes", 0, "fault injection: SIGKILL this process after reading this many ingest bytes (crash-recovery testing)")
+	crashSeed := flag.Uint64("crash-seed", 1, "seed jittering the exact crash point of -crash-after-bytes")
+	resultsJSON := flag.String("results-json", "", "after shutdown, write the final window results to this file as JSON")
+	reportJSON := flag.String("report-json", "", "after shutdown, write the final report to this file as JSON")
 	flag.Parse()
 
 	wireVersion := 0 // newest
@@ -75,18 +84,27 @@ func main() {
 	}
 	s.Sink("out")
 
+	var faults *faultinject.Injector
+	if *crashAfter > 0 {
+		faults = faultinject.New(faultinject.Config{CrashAfterBytes: *crashAfter, Seed: *crashSeed})
+	}
+
 	srv, err := streambox.Serve(p, streambox.RunConfig{
 		Backend: streambox.Native,
 		Workers: *workers,
 		Serve: &streambox.ServeConfig{
-			IngestAddr:     *ingest,
-			HTTPAddr:       *httpAddr,
-			KeepWindows:    *keep,
-			WireVersion:    wireVersion,
-			IdleTimeout:    *idleTimeout,
-			CursorGrace:    *cursorGrace,
-			SessionTimeout: *sessionTimeout,
-			MaxConns:       *maxConns,
+			IngestAddr:         *ingest,
+			HTTPAddr:           *httpAddr,
+			KeepWindows:        *keep,
+			WireVersion:        wireVersion,
+			IdleTimeout:        *idleTimeout,
+			CursorGrace:        *cursorGrace,
+			SessionTimeout:     *sessionTimeout,
+			MaxConns:           *maxConns,
+			Faults:             faults,
+			WALDir:             *walDir,
+			RecoverDir:         *recoverDir,
+			CheckpointInterval: *ckInterval,
 		},
 	})
 	if err != nil {
@@ -105,6 +123,16 @@ func main() {
 	fmt.Printf("ingest:     tcp %s (netio wire protocol)\n", srv.IngestAddr())
 	if a := srv.HTTPAddr(); a != "" {
 		fmt.Printf("queries:    http://%s/windows  http://%s/metrics\n", a, a)
+	}
+	if dir := *recoverDir; dir != "" {
+		fmt.Printf("recovery:   %d sessions restored, %d frames replayed in %.3f s from %s\n",
+			srv.RecoveredSessions(), srv.ReplayedFrames(), float64(srv.RecoveryNs())/1e9, dir)
+	}
+	if dir := *walDir; dir != "" || *recoverDir != "" {
+		if dir == "" {
+			dir = *recoverDir
+		}
+		fmt.Printf("wal:        logging to %s (checkpoint every %s)\n", dir, *ckInterval)
 	}
 
 	sigC := make(chan os.Signal, 1)
@@ -140,7 +168,39 @@ func main() {
 		rep.DroppedRecords, rep.DecodeErrors, rep.ChecksumErrors)
 	fmt.Printf("faults:     %d resumes, %d duplicate frames, %d shed conns, %d expired sessions, %d idle timeouts\n",
 		rep.SessionsResumed, rep.DuplicateFrames, rep.ShedConns, rep.ExpiredSessions, rep.IdleTimeouts)
+	if *walDir != "" || *recoverDir != "" {
+		fmt.Printf("wal:        %d frames logged, %d syncs (fsync p99 %.3f ms), %d segments retired, %d left unsealed\n",
+			rep.WALAppendedFrames, rep.WALSyncs, float64(rep.WALFsyncP99Ns)/1e6,
+			rep.WALSegmentsRetired, rep.WALSegmentsActive)
+	}
+	if *recoverDir != "" {
+		fmt.Printf("recovery:   %d sessions restored, %d frames replayed in %.3f s\n",
+			rep.RecoveredSessions, rep.ReplayedFrames, float64(rep.RecoveryNs)/1e9)
+	}
+	if *resultsJSON != "" {
+		if werr := writeJSON(*resultsJSON, struct {
+			Windows []streambox.WindowResult `json:"windows"`
+		}{srv.Results()}); werr != nil {
+			fmt.Fprintln(os.Stderr, "results-json:", werr)
+			os.Exit(1)
+		}
+	}
+	if *reportJSON != "" {
+		if werr := writeJSON(*reportJSON, rep); werr != nil {
+			fmt.Fprintln(os.Stderr, "report-json:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// writeJSON writes v as indented JSON to path.
+func writeJSON(path string, v interface{}) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -12,6 +12,7 @@ package faultinject
 import (
 	"errors"
 	"net"
+	"os"
 	"sync/atomic"
 	"time"
 )
@@ -38,6 +39,13 @@ type Config struct {
 	DelayProb float64
 	// Delay is the stall applied on a DelayProb hit (0 picks 2ms).
 	Delay time.Duration
+	// CrashAfterBytes hard-kills the whole process (SIGKILL, no
+	// deferred cleanup, no flush) once the injector has read this many
+	// bytes across all wrapped connections — the process-crash mode the
+	// WAL recovery tests drive. Seed jitters the exact crossing point
+	// by up to 4 KiB so repeated runs die at slightly different frame
+	// boundaries.
+	CrashAfterBytes int64
 	// Seed drives the deterministic decision sequence.
 	Seed uint64
 }
@@ -58,6 +66,11 @@ type Injector struct {
 	part atomic.Int64
 	corr atomic.Int64
 	dly  atomic.Int64
+
+	// crashAt is the jittered read-byte threshold for CrashAfterBytes
+	// (0 = crash mode off); readBytes counts across all wrapped conns.
+	crashAt   int64
+	readBytes atomic.Int64
 }
 
 // New builds an injector for cfg. A zero cfg yields a disabled
@@ -66,8 +79,13 @@ func New(cfg Config) *Injector {
 	if cfg.Delay <= 0 {
 		cfg.Delay = 2 * time.Millisecond
 	}
-	on := cfg.ResetProb > 0 || cfg.PartialWriteProb > 0 || cfg.CorruptProb > 0 || cfg.DelayProb > 0
-	return &Injector{cfg: cfg, on: on}
+	on := cfg.ResetProb > 0 || cfg.PartialWriteProb > 0 || cfg.CorruptProb > 0 || cfg.DelayProb > 0 ||
+		cfg.CrashAfterBytes > 0
+	inj := &Injector{cfg: cfg, on: on}
+	if cfg.CrashAfterBytes > 0 {
+		inj.crashAt = cfg.CrashAfterBytes + int64(splitmix64(cfg.Seed^0xC4A5)%4096)
+	}
+	return inj
 }
 
 // Enabled reports whether the injector can fire at all.
@@ -144,7 +162,24 @@ func (f *faultConn) Read(p []byte) (int, error) {
 		time.Sleep(i.cfg.Delay)
 	}
 	_ = bits
-	return f.Conn.Read(p)
+	n, err := f.Conn.Read(p)
+	if n > 0 && i.crashAt > 0 && i.readBytes.Add(int64(n)) >= i.crashAt {
+		i.crash()
+	}
+	return n, err
+}
+
+// crash kills the process the way a power cut would: SIGKILL to self,
+// so no deferred cleanup, no buffered flush, no atexit runs. The WAL
+// recovery tests assert the durable state alone reconstructs the
+// stream.
+func (i *Injector) crash() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	// Kill is asynchronous on some platforms; never return to the caller.
+	select {}
 }
 
 func (f *faultConn) Write(p []byte) (int, error) {

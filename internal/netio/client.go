@@ -689,8 +689,15 @@ func (c *Client) Frames() int64 { return c.frames.Load() }
 
 // waitAcked blocks until every replay-buffered frame is covered by the
 // server's cumulative ack, reconnecting and replaying when the
-// connection dies while unacked frames remain.
+// connection dies while unacked frames remain. With a WriteTimeout
+// configured, the wait is progress-bounded: a server that holds the
+// connection open but stops acking (died mid-drain behind a proxy,
+// wedged disk) cannot park Close forever — once no ack arrives for a
+// full WriteTimeout the drain fails with a *TimeoutError.
 func (c *Client) waitAcked() error {
+	to := c.cfg.WriteTimeout
+	var deadline time.Time
+	lastAcked, armed := uint64(0), false
 	for {
 		c.mu.Lock()
 		if len(c.replay) == 0 {
@@ -705,9 +712,25 @@ func (c *Client) waitAcked() error {
 			if err := c.pump(); err != nil {
 				return err
 			}
+			armed = false // the resume handshake was progress; re-arm
 			continue
 		}
-		c.cond.Wait()
+		if to > 0 {
+			if !armed || c.acked != lastAcked {
+				lastAcked, armed = c.acked, true
+				deadline = time.Now().Add(to)
+			} else if !time.Now().Before(deadline) {
+				c.mu.Unlock()
+				return &TimeoutError{Op: "ack drain", After: to}
+			}
+			// cond.Wait cannot time out on its own; a timer broadcast
+			// re-checks the deadline if no ack ever wakes us.
+			wake := time.AfterFunc(time.Until(deadline), c.cond.Broadcast)
+			c.cond.Wait()
+			wake.Stop()
+		} else {
+			c.cond.Wait()
+		}
 		c.mu.Unlock()
 	}
 }
@@ -721,6 +744,13 @@ func (c *Client) Close() error {
 	var err error
 	if c.session {
 		err = c.waitAcked()
+		if err != nil {
+			// Failed drain (timeout, reconnects exhausted): there is no
+			// ack left to wait for — tear the socket down immediately
+			// instead of riding the grace wait below.
+			c.conn.Close()
+			return err
+		}
 		if err == nil {
 			err = c.writeEOS()
 			if err != nil {

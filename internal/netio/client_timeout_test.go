@@ -1,0 +1,88 @@
+package netio
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"streambox/internal/parsefmt"
+)
+
+// TestCloseAckDrainTimeout pins the bounded ack drain: a server that
+// accepts frames but never acks them (died mid-drain behind a proxy,
+// wedged disk) must not park Close forever. With a WriteTimeout
+// configured, the drain fails with a typed *TimeoutError once no ack
+// arrives for a full timeout window.
+func TestCloseAckDrainTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// A protocol-correct but mute server: it completes the handshake
+	// and the session grant, then swallows every data frame without
+	// ever writing an ack.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, version, _, _, err := readHello(conn, 3)
+		if err != nil {
+			return
+		}
+		if writeAck(conn, version, statusOK, 64) != nil {
+			return
+		}
+		if _, err := readResume(conn); err != nil {
+			return
+		}
+		if writeSessionGrant(conn, 42, 0) != nil {
+			return
+		}
+		for {
+			size, _, eos, err := readFrameHeader(conn, true)
+			if err != nil || eos {
+				return
+			}
+			if _, err := io.CopyN(io.Discard, conn, size); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), ClientConfig{
+		Format:       parsefmt.Columnar,
+		FrameRecords: 16,
+		WriteTimeout: 150 * time.Millisecond,
+		Reconnect:    &ReconnectConfig{MaxRetries: 1, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Session() {
+		t.Fatal("client did not negotiate a session")
+	}
+	gen := RecordGen{Keys: 8, WindowRecords: 1024}
+	if err := c.Send(gen.Records(0, 64)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+
+	start := time.Now()
+	err = c.Close()
+	waited := time.Since(start)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("Close = %v, want a *TimeoutError", err)
+	}
+	if te.Op != "ack drain" {
+		t.Fatalf("TimeoutError.Op = %q, want %q", te.Op, "ack drain")
+	}
+	if waited > 3*time.Second {
+		t.Fatalf("bounded ack drain took %s", waited)
+	}
+}

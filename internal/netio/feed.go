@@ -121,6 +121,73 @@ func (f *Feed) unpark(conn int64) {
 	f.mu.Unlock()
 }
 
+// RestoreCursor re-registers a connection's watermark cursor at a
+// recovered timestamp — recovery seeds each checkpointed session's
+// cursor (and a synthetic cursor per replayed sessionless connection)
+// before replaying the log through Inject.
+func (f *Feed) RestoreCursor(conn int64, ts uint64, parked bool) {
+	f.mu.Lock()
+	f.cursors[conn] = &feedCursor{ts: ts, parked: parked}
+	f.mu.Unlock()
+}
+
+// SeedHighTs raises the feed's high-water timestamp — recovery restores
+// the checkpoint's value so retired pre-crash connections keep counting
+// toward the all-retired watermark.
+func (f *Feed) SeedHighTs(ts uint64) {
+	f.mu.Lock()
+	if ts > f.highTs {
+		f.highTs = ts
+	}
+	f.mu.Unlock()
+}
+
+// Inject delivers a recovered batch under conn's cursor through the
+// normal delivery path (blocking on feed backpressure); it reports
+// false once shutdown has begun. cols must come from BorrowCols so
+// recycling returns them to the pool.
+func (f *Feed) Inject(conn int64, cols [][]uint64, maxTs uint64) bool {
+	return f.push(batch{conn: conn, cols: cols, maxTs: maxTs})
+}
+
+// BorrowCols exposes the columnar receive path's slab borrowing for
+// recovery replay: exact-length columns the caller must fill entirely.
+func (f *Feed) BorrowCols(rows int) [][]uint64 { return f.borrowCols(rows) }
+
+// Retire removes conn's cursor after any batches already injected for
+// it: the sentinel rides the channel behind the data, falling back to
+// direct removal during shutdown.
+func (f *Feed) Retire(conn int64) {
+	if !f.push(batch{conn: conn, retire: true}) {
+		f.retire(conn)
+	}
+}
+
+// CursorState is one watermark cursor's checkpointable state.
+type CursorState struct {
+	Conn   int64
+	Ts     uint64
+	Parked bool
+}
+
+// Cursors snapshots the live cursors (checkpointing).
+func (f *Feed) Cursors() []CursorState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]CursorState, 0, len(f.cursors))
+	for id, c := range f.cursors {
+		out = append(out, CursorState{Conn: id, Ts: c.ts, Parked: c.parked})
+	}
+	return out
+}
+
+// HighTs returns the highest delivered timestamp (checkpointing).
+func (f *Feed) HighTs() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.highTs
+}
+
 // liveCursors returns the number of registered cursors and how many of
 // them are parked (for tests and leak checks).
 func (f *Feed) liveCursors() (total, parked int) {

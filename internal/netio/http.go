@@ -44,6 +44,27 @@ type Metrics struct {
 	PerConn []ConnCounters
 	// Windows published to the result store.
 	WindowsPublished int64
+	// Durability: write-ahead log and crash-recovery state. WALEnabled
+	// gates the whole family so fault-free deployments scrape nothing
+	// extra. FsyncBucket mirrors wal.Bucket without importing the
+	// package (netio only sees the FrameLog interface).
+	WALEnabled         bool
+	WALAppendedFrames  int64
+	WALAppendedBytes   int64
+	WALSyncs           int64
+	WALFsyncP99Ns      int64
+	WALSegmentsActive  int64
+	WALSegmentsRetired int64
+	WALFsync           []FsyncBucket
+	RecoveredSessions  int64
+	ReplayedFrames     int64
+}
+
+// FsyncBucket is one cumulative fsync-latency histogram bucket
+// (upper bound in nanoseconds; -1 means +Inf).
+type FsyncBucket struct {
+	LeNs  int64
+	Count int64
 }
 
 var tierNames = [2]string{"hbm", "dram"}
@@ -98,6 +119,26 @@ func WriteMetrics(w io.Writer, m Metrics) {
 	gauge("streambox_ingest_idle_timeouts_total", "", m.Ingest.IdleTimeouts)
 	for f, n := range m.Ingest.FramesByFormat {
 		gauge("streambox_ingest_format_frames_total", `format="`+formatLabel[f]+`"`, n)
+	}
+	if m.WALEnabled {
+		gauge("streambox_wal_appended_frames_total", "", m.WALAppendedFrames)
+		gauge("streambox_wal_appended_bytes_total", "", m.WALAppendedBytes)
+		gauge("streambox_wal_syncs_total", "", m.WALSyncs)
+		gauge("streambox_wal_fsync_p99_ns", "", m.WALFsyncP99Ns)
+		gauge("streambox_wal_segments_active", "", m.WALSegmentsActive)
+		gauge("streambox_wal_segments_retired_total", "", m.WALSegmentsRetired)
+		var cum int64
+		for _, b := range m.WALFsync {
+			le := "+Inf"
+			if b.LeNs >= 0 {
+				le = strconv.FormatInt(b.LeNs, 10)
+			}
+			cum += b.Count
+			gauge("streambox_wal_fsync_ns_bucket", `le="`+le+`"`, cum)
+		}
+		gauge("streambox_wal_fsync_ns_count", "", m.WALSyncs)
+		gauge("streambox_recovered_sessions", "", m.RecoveredSessions)
+		gauge("streambox_replayed_frames_total", "", m.ReplayedFrames)
 	}
 	for _, c := range m.PerConn {
 		l := fmt.Sprintf(`conn="%d",remote=%q,format=%q`, c.ID, c.Remote, c.Format)

@@ -7,18 +7,21 @@ import (
 	"streambox/internal/mempool"
 	"streambox/internal/memsim"
 	"streambox/internal/parsefmt"
+	"streambox/internal/wal"
 )
 
 // benchIngest measures the wire→feed ingest path over real loopback
 // TCP: one client streams b.N records, a drain goroutine plays the
 // runtime (Recv + Recycle against a mempool), and the reported metrics
 // are records/second of wall time plus — via -benchmem — allocations
-// per record on the whole path.
-func benchIngest(b *testing.B, format parsefmt.Format) {
+// per record on the whole path. A non-nil log additionally appends
+// every frame to the write-ahead log, pinning the durability overhead
+// against the log-free baseline.
+func benchIngest(b *testing.B, format parsefmt.Format, log FrameLog) {
 	feed := NewFeed(WireSchema(), 64)
 	pool := mempool.New(memsim.KNLConfig(), 0)
 	feed.UsePool(pool)
-	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed, FrameCredits: 256})
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Feed: feed, FrameCredits: 256, WAL: log})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,15 +93,29 @@ func benchIngest(b *testing.B, format parsefmt.Format) {
 // BenchmarkIngest compares the ingest formats end to end; CSV is the
 // Text wire format under its benchmark-table name.
 func BenchmarkIngest(b *testing.B) {
-	b.Run("JSON", func(b *testing.B) { benchIngest(b, parsefmt.JSON) })
-	b.Run("PB", func(b *testing.B) { benchIngest(b, parsefmt.PB) })
-	b.Run("CSV", func(b *testing.B) { benchIngest(b, parsefmt.Text) })
-	b.Run("Columnar", func(b *testing.B) { benchIngest(b, parsefmt.Columnar) })
+	b.Run("JSON", func(b *testing.B) { benchIngest(b, parsefmt.JSON, nil) })
+	b.Run("PB", func(b *testing.B) { benchIngest(b, parsefmt.PB, nil) })
+	b.Run("CSV", func(b *testing.B) { benchIngest(b, parsefmt.Text, nil) })
+	b.Run("Columnar", func(b *testing.B) { benchIngest(b, parsefmt.Columnar, nil) })
 }
 
 // BenchmarkColumnarIngest is the zero-copy acceptance pin on its own
 // name: loopback columnar ingest, records/second and allocations per
 // record.
 func BenchmarkColumnarIngest(b *testing.B) {
-	benchIngest(b, parsefmt.Columnar)
+	benchIngest(b, parsefmt.Columnar, nil)
+}
+
+// BenchmarkColumnarIngestWAL is the durability-overhead pin: the same
+// loopback columnar path with every frame also appended to a real
+// write-ahead log on disk (sessionless, so frames ride the background
+// sync like the fault-free fast path). The acceptance bound is within
+// 15% of BenchmarkColumnarIngest.
+func BenchmarkColumnarIngestWAL(b *testing.B) {
+	log, err := wal.Open(wal.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	benchIngest(b, parsefmt.Columnar, log)
 }

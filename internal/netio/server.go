@@ -79,6 +79,55 @@ type ServerConfig struct {
 	// with the fault injector (chaos testing: delayed acks, injected
 	// resets on the server side of the pipe).
 	Faults *faultinject.Injector
+	// WAL, when non-nil, receives every accepted data frame before it is
+	// delivered to the feed. Session frames are appended durably — the
+	// call returns only after an fsync — and the cumulative ack advances
+	// strictly afterwards, so a crash can never lose a frame the client
+	// was told to forget. Sessionless frames ride the log's background
+	// sync (bounded tail loss, matching their at-most-once contract).
+	WAL FrameLog
+	// ReapInterval overrides the session reaper's scan tick. Zero keeps
+	// the automatic derivation (a quarter of the shortest enabled
+	// deadline); tests with tight CursorGrace/SessionTimeout set it
+	// explicitly instead of riding real-time waits.
+	ReapInterval time.Duration
+	// RestoreSessions seeds the session table from a recovery checkpoint
+	// before the listener accepts: each entry re-arms a resume token at
+	// its durable ack, detached as of startup (the reaper's grace and
+	// expiry clocks start now).
+	RestoreSessions []RestoredSession
+	// NextConnID, when positive, is the highest connection/cursor id
+	// already in use — recovery passes the highest id seen in the
+	// checkpoint and log so newly minted ids cannot collide with
+	// replayed cursors.
+	NextConnID int64
+}
+
+// FrameLog is the write-ahead durability hook the serving layer plugs
+// in (implemented by internal/wal.Log). Appends must be safe for
+// concurrent use by every connection handler.
+type FrameLog interface {
+	// AppendFrame logs one accepted data frame. ranges, when non-nil,
+	// carry each column's exact min/max (computed during the checksum
+	// pass) so the log's packer skips its own scan. When durable is
+	// true the call returns only once the record is on stable storage.
+	AppendFrame(token uint64, conn int64, seq, maxTs uint64, cols [][]uint64, ranges []parsefmt.ColRange, durable bool) error
+	// AppendSessionEnd logs that a session finished for good (clean EOS
+	// or expiry), so recovery does not resurrect it.
+	AppendSessionEnd(token uint64, conn int64) error
+}
+
+// RestoredSession is one recovered resumable session: its resume token,
+// its stable feed-cursor id, and the durable cumulative ack clients
+// resume above.
+type RestoredSession struct {
+	Token   uint64
+	Conn    int64
+	LastSeq uint64
+	// Parked mirrors the checkpointed cursor state, so a session whose
+	// cursor had already been parked pre-crash is restored parked and a
+	// later resume unparks both session and cursor together.
+	Parked bool
 }
 
 // Counters is one scrape of the server's aggregate ingest counters.
@@ -263,6 +312,15 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		sessions:  newSessionTable(),
 		stopC:     make(chan struct{}),
 	}
+	if cfg.NextConnID > s.nextID {
+		s.nextID = cfg.NextConnID
+	}
+	for _, rs := range cfg.RestoreSessions {
+		s.sessions.restore(rs.Token, rs.Conn, rs.LastSeq, rs.Parked)
+		if rs.Conn > s.nextID {
+			s.nextID = rs.Conn
+		}
+	}
 	for i := 0; i < cfg.AcceptShards; i++ {
 		s.wg.Add(1)
 		go s.acceptLoop()
@@ -272,9 +330,13 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	return s, nil
 }
 
-// reapInterval picks how often the reaper scans detached sessions: a
-// quarter of the shortest enabled deadline, clamped to [5ms, 500ms].
+// reapInterval picks how often the reaper scans detached sessions: the
+// configured override when set, else a quarter of the shortest enabled
+// deadline, clamped to [5ms, 500ms].
 func (s *Server) reapInterval() time.Duration {
+	if s.cfg.ReapInterval > 0 {
+		return s.cfg.ReapInterval
+	}
 	d := 500 * time.Millisecond
 	if g := s.cfg.CursorGrace; g > 0 && g/4 < d {
 		d = g / 4
@@ -315,6 +377,11 @@ func (s *Server) reaper() {
 					// the dead connection still fold into highTs.
 					s.cfg.Feed.retire(ss.id)
 					s.expired.Add(1)
+					if s.cfg.WAL != nil {
+						// An expired session can never resume; make sure
+						// recovery does not resurrect its cursor either.
+						s.cfg.WAL.AppendSessionEnd(ss.token, ss.id)
+					}
 				}
 				continue
 			}
@@ -403,6 +470,26 @@ func (s *Server) Counters() Counters {
 		c.FramesByFormat[i] = s.framesByFmt[i].Load()
 	}
 	return c
+}
+
+// SessionSnapshot returns every live session's resume token, cursor id,
+// and cumulative ack, for checkpointing. lastSeq is safe to persist:
+// with a WAL attached it only advances after the frame is fsynced.
+func (s *Server) SessionSnapshot() []RestoredSession {
+	live := s.sessions.snapshot()
+	out := make([]RestoredSession, 0, len(live))
+	for _, ss := range live {
+		out = append(out, RestoredSession{Token: ss.token, Conn: ss.id, LastSeq: ss.lastSeq.Load()})
+	}
+	return out
+}
+
+// NextID returns the highest connection/cursor id minted so far, for
+// checkpointing (recovery passes it back as ServerConfig.NextConnID).
+func (s *Server) NextID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID
 }
 
 // ConnCounters returns a per-connection counter snapshot, ordered by
@@ -625,6 +712,9 @@ func (s *Server) handle(conn net.Conn) {
 		case c.cleanEOS:
 			// Clean end of stream ends the session for good.
 			s.sessions.remove(sess)
+			if s.cfg.WAL != nil {
+				s.cfg.WAL.AppendSessionEnd(sess.token, c.id)
+			}
 			if !s.cfg.Feed.push(batch{conn: c.id, retire: true}) {
 				s.cfg.Feed.retire(c.id)
 			}
@@ -710,6 +800,14 @@ func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 	var expect uint64
 	if session {
 		expect = c.sess.lastSeq.Load() + 1
+	}
+	// With a WAL attached, the checksum pass doubles as the packer's
+	// column scan: it fills ranges with each column's min/max, and the
+	// timestamp column's max is the frame's maxTs — no extra pass over
+	// the frame anywhere on the logging path.
+	var ranges []parsefmt.ColRange
+	if s.cfg.WAL != nil {
+		ranges = make([]parsefmt.ColRange, schema.NumCols)
 	}
 	for {
 		s.armIdle(c)
@@ -803,7 +901,13 @@ func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 			s.cfg.Feed.Recycle(cols)
 			return // truncated mid-frame: peer gone
 		}
-		if sum := parsefmt.ChecksumColumns(cols); sum != hdr.Checksum {
+		var sum uint64
+		if ranges != nil {
+			sum = parsefmt.ChecksumColumnsRanges(cols, ranges)
+		} else {
+			sum = parsefmt.ChecksumColumns(cols)
+		}
+		if sum != hdr.Checksum {
 			s.cfg.Feed.Recycle(cols)
 			s.chkErrs.Add(1)
 			c.chkErrs.Add(1)
@@ -817,9 +921,30 @@ func (s *Server) serveColumnar(c *serverConn, br *bufio.Reader) {
 		}
 
 		var maxTs uint64
-		for _, ts := range cols[schema.TsCol] {
-			if ts > maxTs {
-				maxTs = ts
+		if ranges != nil {
+			maxTs = ranges[schema.TsCol].Max
+		} else {
+			for _, ts := range cols[schema.TsCol] {
+				if ts > maxTs {
+					maxTs = ts
+				}
+			}
+		}
+		if s.cfg.WAL != nil {
+			// Durability before delivery, delivery before ack: a session
+			// frame is fsynced here, pushed below, and only then reflected
+			// in lastSeq — so the client's replay buffer and the log
+			// together cover every frame across a crash, with no overlap
+			// the dedup line cannot absorb.
+			var tok uint64
+			if session {
+				tok = c.sess.token
+			}
+			if err := s.cfg.WAL.AppendFrame(tok, c.id, seq, maxTs, cols, ranges, session); err != nil {
+				// The frame's durability is unknown; sever without
+				// advancing the ack so a session client replays it.
+				s.cfg.Feed.Recycle(cols)
+				return
 			}
 		}
 		n := int64(hdr.NRows)
@@ -942,6 +1067,22 @@ func (s *Server) decodeRows(c *serverConn, work chan rowFrame, free chan []byte,
 		<-s.decodeSem
 		free <- fr.payload[:cap(fr.payload)]
 		if cols != nil {
+			if s.cfg.WAL != nil {
+				// Log the decoded columnar form — replay re-enters the
+				// feed without needing the original wire encoding. Same
+				// ordering contract as the columnar path: fsync (for
+				// sessions) before delivery, delivery before the ack.
+				var tok uint64
+				if c.session() {
+					tok = c.sess.token
+				}
+				if err := s.cfg.WAL.AppendFrame(tok, c.id, fr.seq, maxTs, cols, nil, c.session()); err != nil {
+					s.cfg.Feed.Recycle(cols)
+					fatal = true
+					c.conn.Close()
+					continue
+				}
+			}
 			n := int64(len(cols[0]))
 			if s.cfg.Feed.push(batch{conn: c.id, cols: cols, maxTs: maxTs}) {
 				s.ingested.Add(n)

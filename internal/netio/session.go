@@ -137,6 +137,19 @@ func (t *sessionTable) create(id int64) *session {
 	return ss
 }
 
+// restore re-registers a recovered session under its original token and
+// cursor id, with lastSeq at the checkpointed durable ack. The session
+// starts detached as of now: the reaper's grace and expiry clocks give
+// the client the usual window to reconnect after the restart.
+func (t *sessionTable) restore(token uint64, id int64, lastSeq uint64, parked bool) *session {
+	ss := &session{token: token, id: id, detachedAt: time.Now(), parked: parked}
+	ss.lastSeq.Store(lastSeq)
+	t.mu.Lock()
+	t.m[token] = ss
+	t.mu.Unlock()
+	return ss
+}
+
 // lookup finds a session by token.
 func (t *sessionTable) lookup(token uint64) *session {
 	t.mu.Lock()

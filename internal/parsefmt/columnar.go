@@ -170,6 +170,101 @@ func ChecksumColumns(cols [][]uint64) uint64 {
 			words++
 		}
 	}
+	return xxhFinal(acc, words)
+}
+
+// ColRange is one column's exact value range. The WAL's
+// frame-of-reference packer needs each column's min (the base) and max
+// (the delta width); computing them in the checksum pass costs two
+// compares on words already in registers, where a separate scan would
+// re-stream the whole frame.
+type ColRange struct{ Min, Max uint64 }
+
+// ChecksumColumnsRanges computes the same digest as ChecksumColumns —
+// bit for bit, both ends of the wire must agree — and fills ranges[i]
+// with column i's min/max in the same pass. ranges must have len(cols)
+// entries; an empty column yields {0, 0}.
+//
+// The loop is unrolled four wide: each slot keeps a fixed hash lane
+// (lane is the global word index mod 4, so advancing four words leaves
+// every slot's lane unchanged), and min/max alternates between two
+// accumulator pairs so the loop-carried compare chain is half as deep
+// as a naive fused scan.
+func ChecksumColumnsRanges(cols [][]uint64, ranges []ColRange) uint64 {
+	acc := [4]uint64{xxhPrime1, xxhPrime2, 0, 0}
+	acc[0] += xxhPrime2
+	acc[3] -= xxhPrime1
+	lane := 0
+	var words uint64
+	for ci, col := range cols {
+		var lo, hi uint64
+		n := len(col)
+		if n > 0 {
+			lo, hi = col[0], col[0]
+		}
+		i := 0
+		if n >= 4 {
+			lo2, hi2 := lo, hi
+			l0, l1, l2, l3 := lane, (lane+1)&3, (lane+2)&3, (lane+3)&3
+			a0, a1, a2, a3 := acc[l0], acc[l1], acc[l2], acc[l3]
+			for ; i+4 <= n; i += 4 {
+				c := col[i : i+4 : i+4]
+				v0, v1, v2, v3 := c[0], c[1], c[2], c[3]
+				a0 = xxhRound(a0, v0)
+				a1 = xxhRound(a1, v1)
+				a2 = xxhRound(a2, v2)
+				a3 = xxhRound(a3, v3)
+				if v0 < lo {
+					lo = v0
+				}
+				if v0 > hi {
+					hi = v0
+				}
+				if v1 < lo2 {
+					lo2 = v1
+				}
+				if v1 > hi2 {
+					hi2 = v1
+				}
+				if v2 < lo {
+					lo = v2
+				}
+				if v2 > hi {
+					hi = v2
+				}
+				if v3 < lo2 {
+					lo2 = v3
+				}
+				if v3 > hi2 {
+					hi2 = v3
+				}
+			}
+			acc[l0], acc[l1], acc[l2], acc[l3] = a0, a1, a2, a3
+			if lo2 < lo {
+				lo = lo2
+			}
+			if hi2 > hi {
+				hi = hi2
+			}
+		}
+		for ; i < n; i++ {
+			v := col[i]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			acc[(lane+i)&3] = xxhRound(acc[(lane+i)&3], v)
+		}
+		lane = (lane + n) & 3
+		words += uint64(n)
+		ranges[ci] = ColRange{Min: lo, Max: hi}
+	}
+	return xxhFinal(acc, words)
+}
+
+func xxhFinal(acc [4]uint64, words uint64) uint64 {
 	h := bits.RotateLeft64(acc[0], 1) + bits.RotateLeft64(acc[1], 7) +
 		bits.RotateLeft64(acc[2], 12) + bits.RotateLeft64(acc[3], 18)
 	for _, a := range acc {

@@ -111,6 +111,41 @@ func TestChecksumColumnsSensitivity(t *testing.T) {
 	}
 }
 
+// TestChecksumColumnsRangesMatches pins the wire contract: the fused
+// checksum+min/max scan (server ingest) must produce the exact digest
+// of ChecksumColumns (client encode) for any geometry — including the
+// ragged and sub-unroll column lengths the unrolled loop special-cases
+// — along with exact per-column ranges.
+func TestChecksumColumnsRangesMatches(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {1, 3}, {2, 4}, {7, 5}, {7, 64}, {3, 1001}, {5, 0}} {
+		cols := sampleCols(dims[0], dims[1])
+		if dims[0] > 1 && dims[1] > 2 {
+			cols[1] = cols[1][:dims[1]-2] // ragged: lane offset shifts mid-frame
+		}
+		ranges := make([]ColRange, len(cols))
+		if got, want := ChecksumColumnsRanges(cols, ranges), ChecksumColumns(cols); got != want {
+			t.Fatalf("%v: fused checksum %#x, ChecksumColumns %#x", dims, got, want)
+		}
+		for ci, col := range cols {
+			var lo, hi uint64
+			if len(col) > 0 {
+				lo, hi = col[0], col[0]
+				for _, v := range col {
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+			}
+			if ranges[ci] != (ColRange{Min: lo, Max: hi}) {
+				t.Fatalf("%v col %d: range %+v, want {%d %d}", dims, ci, ranges[ci], lo, hi)
+			}
+		}
+	}
+}
+
 func TestSwapWordsIsWireOrderInverse(t *testing.T) {
 	col := []uint64{0, 1, 0x0123456789ABCDEF, ^uint64(0)}
 	want := bytes.Clone(ColumnBytes(col))

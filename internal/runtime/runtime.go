@@ -216,6 +216,13 @@ type Config struct {
 	// path materializes a full KPA per merge level and re-streams the
 	// merged KPA to reduce it.
 	PairwiseClose bool
+	// SealedBefore suppresses externalization of windows already sealed
+	// and published before a crash: windows whose end is at or before it
+	// close normally but are neither delivered to WindowSink nor
+	// captured. Recovery replays the write-ahead log through the normal
+	// feed path with SealedBefore set to the checkpoint's sealed
+	// watermark, so rebuilt pre-sealed windows do not publish twice.
+	SealedBefore wm.Time
 	// DirectSliding scatters every record of a sliding-window plan into
 	// all Size/Slide windows containing it instead of the default
 	// pane-based shared aggregation (each record extracted once into a
@@ -337,6 +344,10 @@ type exec struct {
 	windows map[wm.Time]*winEntry
 	panes   map[wm.Time]*paneEntry // pane-based sliding only
 	closed  int
+	// finishing holds windows removed from the map whose WindowSink
+	// publication has not returned yet, so SealedWatermark never claims
+	// a window sealed while its rows are still in flight to the sink.
+	finishing map[wm.Time]struct{}
 
 	rmu      sync.Mutex
 	rows     []Row
@@ -415,6 +426,30 @@ func (e *Execution) WindowsClosed() int {
 	return e.x.closed
 }
 
+// SealedWatermark returns the conservative watermark through which
+// every window has fully externalized: the target watermark, held back
+// to just below the end of any window still open or still publishing
+// to the WindowSink. A checkpoint taken at this watermark together
+// with the sink's published results covers every record of every
+// window ending at or before it.
+func (e *Execution) SealedWatermark() wm.Time {
+	x := e.x
+	w := wm.Time(x.targetWM.Load())
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	for start := range x.windows {
+		if end := x.plan.Win.End(start); end <= w {
+			w = end - 1
+		}
+	}
+	for start := range x.finishing {
+		if end := x.plan.Win.End(start); end <= w {
+			w = end - 1
+		}
+	}
+	return w
+}
+
 // MemSnapshot returns a consistent view of the mempool.
 func (e *Execution) MemSnapshot() mempool.Snapshot { return e.x.pool.Snapshot() }
 
@@ -481,14 +516,15 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 	}
 
 	x := &exec{
-		plan:     plan,
-		cfg:      cfg,
-		sched:    NewScheduler(workers),
-		pool:     mempool.New(machine, reserved),
-		reg:      bundle.NewRegistry(),
-		knob:     engine.NewKnob(cfg.Seed + 1),
-		windows:  make(map[wm.Time]*winEntry),
-		sinkRows: make(map[wm.Time][]Row),
+		plan:      plan,
+		cfg:       cfg,
+		sched:     NewScheduler(workers),
+		pool:      mempool.New(machine, reserved),
+		reg:       bundle.NewRegistry(),
+		knob:      engine.NewKnob(cfg.Seed + 1),
+		windows:   make(map[wm.Time]*winEntry),
+		sinkRows:  make(map[wm.Time][]Row),
+		finishing: make(map[wm.Time]struct{}),
 	}
 	if plan.Win.PaneSharing() && !cfg.DirectSliding {
 		x.paneW = plan.Win.PaneWidth()
@@ -1475,6 +1511,9 @@ func (x *exec) emitRows(start wm.Time, rows []Row) {
 	if !x.cfg.Capture && x.cfg.WindowSink == nil {
 		return
 	}
+	if x.sealedWindow(start) {
+		return
+	}
 	x.rmu.Lock()
 	if x.cfg.Capture {
 		x.rows = append(x.rows, rows...)
@@ -1505,14 +1544,24 @@ func (x *exec) finishWindow(start wm.Time) {
 	}
 	delete(x.windows, start)
 	x.closed++
+	x.finishing[start] = struct{}{}
 	x.wmu.Unlock()
-	if x.cfg.WindowSink != nil {
+	if x.cfg.WindowSink != nil && !x.sealedWindow(start) {
 		x.rmu.Lock()
 		rows := x.sinkRows[start]
 		delete(x.sinkRows, start)
 		x.rmu.Unlock()
 		x.cfg.WindowSink(start, x.plan.Win.End(start), rows)
 	}
+	x.wmu.Lock()
+	delete(x.finishing, start)
+	x.wmu.Unlock()
+}
+
+// sealedWindow reports whether the window starting at start was already
+// sealed and published before a recovery run started (Config.SealedBefore).
+func (x *exec) sealedWindow(start wm.Time) bool {
+	return x.cfg.SealedBefore > 0 && x.plan.Win.End(start) <= x.cfg.SealedBefore
 }
 
 // allocator returns a knob-driven KPA allocator for the given tag:

@@ -1,0 +1,645 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"streambox/internal/parsefmt"
+)
+
+// Config tunes a Log. Zero values select the defaults.
+type Config struct {
+	// Dir holds the segments and checkpoint; created if missing.
+	Dir string
+	// SegmentBytes rolls the active segment past this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// SyncInterval is the background flush cadence for appends nobody
+	// is waiting on — sessionless frames ride it instead of paying a
+	// per-frame fsync (default 5ms). Durable appends are group-committed
+	// immediately regardless.
+	SyncInterval time.Duration
+}
+
+// LSN identifies an appended record; Sync(lsn) returns once every
+// record at or below it is on stable storage.
+type LSN uint64
+
+// fsyncBuckets is the number of fsync latency histogram buckets.
+const fsyncBuckets = 12
+
+// FsyncBucketsNs are the upper bounds (inclusive, nanoseconds) of the
+// fsync latency histogram; the last bucket is unbounded.
+var FsyncBucketsNs = [fsyncBuckets]int64{
+	50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000,
+	25_000_000, 50_000_000, 100_000_000, int64(^uint64(0) >> 1),
+}
+
+// Bucket is one fsync-latency histogram bucket (non-cumulative count).
+type Bucket struct {
+	LeNs  int64
+	Count int64
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	AppendedFrames  int64
+	AppendedBytes   int64
+	Syncs           int64
+	FsyncP99Ns      int64
+	Fsync           []Bucket
+	SegmentsActive  int64
+	SegmentsRetired int64
+}
+
+type segment struct {
+	idx    uint64
+	path   string
+	f      *os.File
+	bytes  int64
+	maxTs  uint64
+	synced bool // completed segments only: fully fsynced at roll
+}
+
+// Log is a segmented write-ahead log. Append is cheap — records are
+// packed into an in-memory accumulation buffer under a mutex, and a
+// dedicated writer goroutine drains that buffer to disk outside the
+// lock, so neither write(2) latency nor fsync writeback stalls ever
+// ride the append path. Durability is batched: every waiter that calls
+// Sync while an fsync is in flight is covered by the next one — group
+// commit without a timer on the ack path.
+type Log struct {
+	cfg Config
+
+	mu         sync.Mutex
+	appendCnd  *sync.Cond // writer waits here for work
+	syncedCnd  *sync.Cond // Sync waiters wait here for durability
+	drainedCnd *sync.Cond // backpressured appends wait for a drain
+	active     *segment
+	completed  []*segment // rolled segments, oldest first
+	nextIdx    uint64
+	firstIdx   uint64 // first segment index created by this process
+	appendLSN  LSN
+	wantLSN    LSN // highest LSN somebody asked to make durable
+	syncedLSN  LSN
+	err        error
+	closing    bool
+
+	// Accumulation buffer: appends encode records into abuf; chunks
+	// records which segment each byte range belongs to (a drain can
+	// span a roll). spare/spareChunks are the writer's double buffer.
+	abuf        []byte
+	chunks      []chunk
+	spare       []byte
+	spareChunks []chunk
+	// sealedPending are segments rolled away from but not yet fsynced;
+	// the writer syncs them after the drain that carries their bytes.
+	sealedPending []*segment
+
+	frames   int64
+	bytes    int64
+	syncs    int64
+	retired  int64
+	fsyncCnt [fsyncBuckets]int64
+
+	writerDone chan struct{}
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+}
+
+// chunk assigns a run of accumulated bytes to the segment that owns
+// them.
+type chunk struct {
+	seg *segment
+	n   int
+}
+
+const (
+	// drainBytes is the writer's wake-up threshold: below it, appended
+	// bytes wait for more company (or the sync tick) so steady-state
+	// write(2) calls stay well-sized.
+	drainBytes = 128 << 10
+	// maxBufferedBytes caps the accumulation buffer; appends beyond it
+	// block until the writer drains — backpressure when the disk is
+	// genuinely behind.
+	maxBufferedBytes = 4 << 20
+)
+
+// Open creates (or reopens) the log in cfg.Dir. Existing segments from
+// a previous run are indexed — their valid record prefix scanned for
+// size and max timestamp so retirement keeps working across a restart —
+// but left untouched; new appends go to a fresh segment. Use
+// ReplayExisting to feed their records back through the pipeline before
+// serving.
+func Open(cfg Config) (*Log, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 64 << 20
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = 5 * time.Millisecond
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		cfg:        cfg,
+		abuf:       make([]byte, 0, drainBytes),
+		spare:      make([]byte, 0, drainBytes),
+		writerDone: make(chan struct{}),
+		tickerStop: make(chan struct{}),
+		tickerDone: make(chan struct{}),
+	}
+	l.appendCnd = sync.NewCond(&l.mu)
+	l.syncedCnd = sync.NewCond(&l.mu)
+	l.drainedCnd = sync.NewCond(&l.mu)
+	if err := l.indexExisting(); err != nil {
+		return nil, err
+	}
+	l.firstIdx = l.nextIdx
+	if err := l.roll(); err != nil {
+		return nil, err
+	}
+	go l.writeLoop()
+	go l.tickLoop()
+	return l, nil
+}
+
+func segPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.seg", idx))
+}
+
+// indexExisting scans segments left by a previous process: records each
+// one's valid prefix length and max timestamp. The scan stops a
+// segment's accounting at the first torn record (crash tail).
+func (l *Log) indexExisting() error {
+	paths, err := filepath.Glob(filepath.Join(l.cfg.Dir, "wal-*.seg"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		seg, err := scanSegment(p)
+		if err != nil {
+			return fmt.Errorf("wal: index %s: %w", p, err)
+		}
+		seg.synced = true // survived a restart; as durable as it gets
+		l.completed = append(l.completed, seg)
+		if seg.idx >= l.nextIdx {
+			l.nextIdx = seg.idx + 1
+		}
+	}
+	return nil
+}
+
+// scanSegment reads a segment's header and walks its records, stopping
+// at the first corruption, and returns its metadata (file left open for
+// retirement bookkeeping; records are not retained).
+func scanSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [segHeaderBytes]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("short segment header: %w", err)
+	}
+	idx, err := parseSegHeader(hdr[:])
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &segment{idx: idx, path: path, f: f, bytes: segHeaderBytes}
+	var rec Record
+	err = walkSegment(f, &rec, func(r *Record, recBytes int64) error {
+		seg.bytes += recBytes
+		if r.Kind == KindFrame && r.MaxTs > seg.maxTs {
+			seg.maxTs = r.MaxTs
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return seg, nil
+}
+
+// walkSegment streams records from r (positioned after the segment
+// header) into fn until EOF or the first corrupt record — corruption is
+// the log's end, not an error. fn may keep nothing: rec is reused.
+func walkSegment(r io.Reader, rec *Record, fn func(rec *Record, recBytes int64) error) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var buf []byte
+	for {
+		var lenb [4]byte
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return nil // clean EOF or torn length prefix: end of log
+		}
+		body := int(uint32(lenb[0]) | uint32(lenb[1])<<8 | uint32(lenb[2])<<16 | uint32(lenb[3])<<24)
+		if body < recHeaderBytes+recCRCBytes || body > maxRecordData+recHeaderBytes+recCRCBytes {
+			return nil
+		}
+		if cap(buf) < 4+body {
+			buf = make([]byte, 4+body)
+		}
+		buf = buf[:4+body]
+		copy(buf, lenb[:])
+		if _, err := io.ReadFull(br, buf[4:]); err != nil {
+			return nil // torn body
+		}
+		if _, err := DecodeRecord(buf, rec); err != nil {
+			return nil // checksum/geometry failure: end of durable prefix
+		}
+		if err := fn(rec, int64(4+body)); err != nil {
+			return err
+		}
+	}
+}
+
+// ReplayExisting streams every record of the segments that predate this
+// Open, oldest segment first, into fn. Call before serving traffic —
+// concurrent appends go to the new active segment and are not replayed.
+func (l *Log) ReplayExisting(fn func(rec *Record) error) (frames int64, err error) {
+	l.mu.Lock()
+	var segs []*segment
+	for _, s := range l.completed {
+		if s.idx < l.firstIdx {
+			segs = append(segs, s)
+		}
+	}
+	l.mu.Unlock()
+	var rec Record
+	for _, s := range segs {
+		f, err := os.Open(s.path)
+		if err != nil {
+			return frames, err
+		}
+		if _, err := f.Seek(segHeaderBytes, io.SeekStart); err != nil {
+			f.Close()
+			return frames, err
+		}
+		err = walkSegment(f, &rec, func(r *Record, _ int64) error {
+			if r.Kind == KindFrame {
+				frames++
+			}
+			return fn(r)
+		})
+		f.Close()
+		if err != nil {
+			return frames, err
+		}
+	}
+	return frames, nil
+}
+
+// roll seals the active segment (the writer fsyncs it once the drain
+// carrying its last bytes lands) and opens the next one. Caller must
+// hold l.mu or be initializing.
+func (l *Log) roll() error {
+	if l.active != nil {
+		l.completed = append(l.completed, l.active)
+		l.sealedPending = append(l.sealedPending, l.active)
+	}
+	idx := l.nextIdx
+	l.nextIdx++
+	path := segPath(l.cfg.Dir, idx)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderBytes]byte
+	putSegHeader(hdr[:], idx)
+	// The header goes straight to the file: every accumulated chunk for
+	// this segment drains strictly later, so file order is preserved.
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = &segment{idx: idx, path: path, f: f, bytes: segHeaderBytes}
+	return nil
+}
+
+// append packs one record into the accumulation buffer and returns its
+// LSN. No I/O happens here — the writer goroutine drains the buffer —
+// so the caller pays the encode and a memory append, nothing more.
+// Durability comes from Sync (or the background tick).
+func (l *Log) append(kind byte, token uint64, conn int64, seq, maxTs uint64, cols [][]uint64, ranges []parsefmt.ColRange, nrows int) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.abuf) > maxBufferedBytes && l.err == nil && !l.closing {
+		l.drainedCnd.Wait() // disk behind: block until the writer catches up
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closing {
+		return 0, os.ErrClosed
+	}
+	start := len(l.abuf)
+	l.abuf = appendRecord(l.abuf, kind, token, conn, seq, maxTs, cols, ranges, nrows)
+	n := len(l.abuf) - start
+	if k := len(l.chunks); k > 0 && l.chunks[k-1].seg == l.active {
+		l.chunks[k-1].n += n
+	} else {
+		l.chunks = append(l.chunks, chunk{seg: l.active, n: n})
+	}
+	l.active.bytes += int64(n)
+	if kind == KindFrame {
+		if maxTs > l.active.maxTs {
+			l.active.maxTs = maxTs
+		}
+		l.frames++
+	}
+	l.bytes += int64(n)
+	l.appendLSN++
+	lsn := l.appendLSN
+	if l.active.bytes >= l.cfg.SegmentBytes {
+		if err := l.roll(); err != nil {
+			l.err = err
+			return 0, err
+		}
+	}
+	if len(l.abuf) >= drainBytes || len(l.sealedPending) > 0 {
+		l.appendCnd.Signal()
+	}
+	return lsn, nil
+}
+
+// Sync blocks until every record at or below lsn is on stable storage,
+// sharing fsyncs with every other concurrent waiter (group commit).
+func (l *Log) Sync(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.wantLSN {
+		l.wantLSN = lsn
+		l.appendCnd.Signal()
+	}
+	for l.syncedLSN < lsn && l.err == nil && !l.closing {
+		l.syncedCnd.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.syncedLSN < lsn {
+		return os.ErrClosed
+	}
+	return nil
+}
+
+// AppendFrame logs an accepted data frame. cols hold equal-length
+// columns (the engine's native layout); ranges, when non-nil, carry
+// each column's exact min/max so the packer skips its own scan (the
+// ingest path gets them for free from its checksum pass). When durable
+// is set the call blocks until the record is fsynced — the
+// precondition for advancing a session ack; sessionless frames return
+// after the buffered write and ride the background sync.
+func (l *Log) AppendFrame(token uint64, conn int64, seq, maxTs uint64, cols [][]uint64, ranges []parsefmt.ColRange, durable bool) error {
+	nrows := 0
+	if len(cols) > 0 {
+		nrows = len(cols[0])
+	}
+	lsn, err := l.append(KindFrame, token, conn, seq, maxTs, cols, ranges, nrows)
+	if err != nil {
+		return err
+	}
+	if durable {
+		return l.Sync(lsn)
+	}
+	return nil
+}
+
+// AppendSessionEnd records that a session finished cleanly (EOS) or
+// expired: recovery must not resurrect its cursor or session entry.
+func (l *Log) AppendSessionEnd(token uint64, conn int64) error {
+	_, err := l.append(KindSessionEnd, token, conn, 0, 0, nil, nil, 0)
+	return err
+}
+
+// writeLoop is the log's only disk writer and the group-commit daemon.
+// It steals the accumulation buffer under the mutex, then performs
+// every write(2) and fsync outside it — appends keep encoding into the
+// other buffer while the disk works, so writeback stalls never reach
+// the ingest path. An fsync happens only when some Sync waiter (or the
+// ticker, or close) wants durability; one fsync covers everyone who
+// queued up meanwhile.
+func (l *Log) writeLoop() {
+	defer close(l.writerDone)
+	for {
+		l.mu.Lock()
+		for !l.closing && l.err == nil &&
+			len(l.abuf) < drainBytes && len(l.sealedPending) == 0 &&
+			(l.wantLSN <= l.syncedLSN || l.appendLSN <= l.syncedLSN) {
+			l.appendCnd.Wait()
+		}
+		if l.err != nil || (l.closing && len(l.abuf) == 0 && len(l.sealedPending) == 0 && l.appendLSN <= l.syncedLSN) {
+			l.syncedCnd.Broadcast()
+			l.drainedCnd.Broadcast()
+			l.mu.Unlock()
+			return
+		}
+		// Steal the accumulated bytes, their segment spans, and the
+		// segments sealed since the last drain; give appends the spare.
+		buf, chunks := l.abuf, l.chunks
+		l.abuf, l.chunks = l.spare[:0], l.spareChunks[:0]
+		sealed := l.sealedPending
+		l.sealedPending = nil
+		target := l.appendLSN
+		syncActive := l.wantLSN > l.syncedLSN || l.closing
+		tail := l.active
+		l.drainedCnd.Broadcast()
+		l.mu.Unlock()
+
+		var err error
+		off := 0
+		for _, ch := range chunks {
+			if _, werr := ch.seg.f.Write(buf[off : off+ch.n]); werr != nil {
+				err = werr
+				break
+			}
+			off += ch.n
+		}
+		// Sealed segments are fully on the fd now: make them durable so
+		// retirement can drop them. Then the group commit, if anyone
+		// wants it.
+		if err == nil {
+			for _, s := range sealed {
+				if serr := s.f.Sync(); serr != nil {
+					err = serr
+					break
+				}
+			}
+		}
+		if err == nil && syncActive {
+			start := time.Now()
+			err = tail.f.Sync()
+			l.observeFsync(time.Since(start))
+		}
+
+		l.mu.Lock()
+		l.spare, l.spareChunks = buf, chunks
+		if err != nil {
+			l.err = err
+		} else {
+			for _, s := range sealed {
+				s.synced = true
+			}
+			if syncActive && target > l.syncedLSN {
+				l.syncedLSN = target
+			}
+		}
+		l.syncedCnd.Broadcast()
+		l.drainedCnd.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+func (l *Log) observeFsync(d time.Duration) {
+	ns := d.Nanoseconds()
+	i := 0
+	for i < fsyncBuckets-1 && ns > FsyncBucketsNs[i] {
+		i++
+	}
+	l.mu.Lock()
+	l.fsyncCnt[i]++
+	l.syncs++
+	l.mu.Unlock()
+}
+
+// tickLoop periodically asks for a background sync so sessionless
+// appends become durable within ~SyncInterval without anyone waiting.
+func (l *Log) tickLoop() {
+	defer close(l.tickerDone)
+	t := time.NewTicker(l.cfg.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.tickerStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.appendLSN > l.syncedLSN && l.appendLSN > l.wantLSN {
+				l.wantLSN = l.appendLSN
+				l.appendCnd.Signal()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// RetireThrough removes completed segments whose every frame feeds only
+// windows sealed at or before tsBound — call it after the checkpoint
+// covering tsBound has persisted, passing sealedWatermark−windowSize.
+// The active segment never retires. Returns how many segments were
+// removed.
+func (l *Log) RetireThrough(tsBound uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	kept := l.completed[:0]
+	var firstErr error
+	for _, s := range l.completed {
+		if s.synced && s.maxTs <= tsBound {
+			s.f.Close()
+			if err := os.Remove(s.path); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			n++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.completed = kept
+	l.retired += int64(n)
+	return n, firstErr
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		AppendedFrames:  l.frames,
+		AppendedBytes:   l.bytes,
+		Syncs:           l.syncs,
+		SegmentsActive:  int64(len(l.completed)) + 1,
+		SegmentsRetired: l.retired,
+		Fsync:           make([]Bucket, fsyncBuckets),
+	}
+	if l.active == nil {
+		st.SegmentsActive--
+	}
+	var total, cum int64
+	for i := 0; i < fsyncBuckets; i++ {
+		st.Fsync[i] = Bucket{LeNs: FsyncBucketsNs[i], Count: l.fsyncCnt[i]}
+		total += l.fsyncCnt[i]
+	}
+	for i := 0; i < fsyncBuckets; i++ {
+		cum += l.fsyncCnt[i]
+		if total > 0 && cum*100 >= total*99 {
+			st.FsyncP99Ns = FsyncBucketsNs[i]
+			break
+		}
+	}
+	return st
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.cfg.Dir }
+
+// Close drains and fsyncs everything appended, stops the writer and
+// ticker, and closes the segment files. The segments stay on disk for
+// recovery unless PurgeSegments is called.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		<-l.writerDone
+		return l.err
+	}
+	l.closing = true
+	close(l.tickerStop)
+	// The writer sees closing, performs one final drain + fsync (the
+	// closing flag forces syncActive), and exits once everything
+	// appended is durable.
+	l.appendCnd.Broadcast()
+	l.drainedCnd.Broadcast()
+	l.mu.Unlock()
+	<-l.tickerDone
+	<-l.writerDone
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.completed {
+		s.f.Close()
+	}
+	if l.active != nil {
+		l.active.f.Close()
+		l.active = nil
+	}
+	return l.err
+}
+
+// PurgeSegments removes every segment file in dir — used after a clean
+// shutdown has sealed all windows and written the final checkpoint, so
+// the log carries no unsealed frames.
+func PurgeSegments(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

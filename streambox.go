@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"streambox/internal/algo"
@@ -31,6 +32,7 @@ import (
 	"streambox/internal/netio"
 	"streambox/internal/ops"
 	"streambox/internal/runtime"
+	"streambox/internal/wal"
 	"streambox/internal/wm"
 )
 
@@ -211,6 +213,35 @@ type ServeConfig struct {
 	// Faults, when non-nil, wraps accepted ingest connections with the
 	// fault injector (chaos testing only).
 	Faults *faultinject.Injector
+	// WALDir, when non-empty, enables the write-ahead frame log in that
+	// directory: every accepted session frame is persisted through a
+	// group-commit fsync before its ack can advance, and periodic
+	// checkpoints of the recovery metadata (session table, watermark
+	// cursors, sealed result windows) land beside the segments. A clean
+	// Shutdown seals everything, writes a final checkpoint and deletes
+	// the segments.
+	WALDir string
+	// RecoverDir starts the server by recovering from an existing WAL
+	// directory: the checkpoint is restored, unsealed frames are
+	// replayed through the normal ingest path, resumable sessions are
+	// re-armed at their durable acks, and only then does the listener
+	// accept connections. Implies WALDir (logging continues into the
+	// same directory). A missing or empty directory recovers to a
+	// fresh state.
+	RecoverDir string
+	// WALSegmentBytes caps one log segment before it rolls (0 picks
+	// 64 MiB); WALSyncInterval is the background fsync cadence covering
+	// frames that are not holding a session ack (0 picks 5ms).
+	WALSegmentBytes int64
+	WALSyncInterval time.Duration
+	// CheckpointInterval is the recovery-checkpoint cadence (0 picks
+	// 1s). Log segments are deleted only once a durable checkpoint
+	// seals every window they feed.
+	CheckpointInterval time.Duration
+	// ReapInterval overrides the session reaper's scan tick (see
+	// netio.ServerConfig.ReapInterval); zero keeps the automatic
+	// derivation from CursorGrace/SessionTimeout.
+	ReapInterval time.Duration
 }
 
 // KNL returns the paper's Knights Landing machine (Table 3).
@@ -248,6 +279,22 @@ type Report struct {
 	ShedConns       int64
 	ExpiredSessions int64
 	IdleTimeouts    int64
+	// Durability counters of a WAL-enabled serve: frames appended to
+	// the write-ahead log, the group-commit fsync count and p99
+	// latency, and log segments still on disk vs retired by
+	// checkpoints. All 0 without ServeConfig.WALDir.
+	WALAppendedFrames  int64
+	WALSyncs           int64
+	WALFsyncP99Ns      int64
+	WALSegmentsActive  int64
+	WALSegmentsRetired int64
+	// Recovery counters of a serve started with ServeConfig.RecoverDir:
+	// resumable sessions restored from the checkpoint, frames replayed
+	// from the log, and the wall-clock nanoseconds recovery took before
+	// the listener opened.
+	RecoveredSessions int64
+	ReplayedFrames    int64
+	RecoveryNs        int64
 	// WallSeconds is the real elapsed time of a native run (0 when
 	// simulated).
 	WallSeconds float64
@@ -768,8 +815,21 @@ type Server struct {
 	ingest  *netio.Server
 	store   *netio.ResultStore
 	capture *Captured
+	feed    *netio.Feed
 	httpLn  net.Listener
 	httpSrv *http.Server
+
+	// Durability state (nil/zero without ServeConfig.WALDir).
+	wal     *wal.Log
+	winSize wm.Time
+	ckStop  chan struct{}
+	ckDone  chan struct{}
+	ckOnce  sync.Once
+
+	// Recovery facts frozen at startup (RecoverDir only).
+	recoveredSessions int64
+	replayedFrames    int64
+	recoveryNs        int64
 }
 
 // Serve starts the pipeline as a network server on the native backend.
@@ -790,15 +850,54 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	feed := netio.NewFeed(netio.WireSchema(), cfg.Serve.FeedBuffer)
+
+	// Durability setup: RecoverDir means "this directory holds a
+	// previous incarnation's log and checkpoint — restore it first",
+	// and implies logging continues into the same directory.
+	sc := cfg.Serve
+	walDir := sc.WALDir
+	recovering := false
+	if sc.RecoverDir != "" {
+		walDir = sc.RecoverDir
+		recovering = true
+	}
+	var (
+		walLog *wal.Log
+		ck     *wal.Checkpoint
+	)
+	if walDir != "" {
+		if recovering {
+			if ck, err = wal.ReadCheckpoint(walDir); err != nil {
+				return nil, err
+			}
+		}
+		walLog, err = wal.Open(wal.Config{
+			Dir:          walDir,
+			SegmentBytes: sc.WALSegmentBytes,
+			SyncInterval: sc.WALSyncInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var sealedWM wm.Time
+	if ck != nil {
+		sealedWM = wm.Time(ck.SealedWM)
+	}
+
+	feed := netio.NewFeed(netio.WireSchema(), sc.FeedBuffer)
 	plan.Feed = feed
 
-	store := netio.NewResultStore(cfg.Serve.KeepWindows)
+	store := netio.NewResultStore(sc.KeepWindows)
 	rcfg := runtime.Config{
 		Workers: cfg.Workers,
 		Machine: cfg.Machine,
 		Seed:    cfg.Seed,
 		Capture: capture != nil,
+		// Windows the checkpoint already sealed are rebuilt by replay
+		// but neither re-published nor re-captured — the checkpointed
+		// snapshot is the single durable copy.
+		SealedBefore: sealedWM,
 		WindowSink: func(start, end wm.Time, rows []runtime.Row) {
 			out := make([]netio.ResultRow, len(rows))
 			for i, r := range rows {
@@ -809,6 +908,9 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 	}
 	exec, err := runtime.Start(plan, rcfg)
 	if err != nil {
+		if walLog != nil {
+			walLog.Close()
+		}
 		return nil, err
 	}
 	// One owner for all column memory: wire-side batches draw from the
@@ -816,17 +918,55 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 	// recycled slabs cycle between the socket and the bundle copier.
 	feed.UsePool(exec.MemPool())
 
-	ingest, err := netio.Listen(cfg.Serve.IngestAddr, netio.ServerConfig{
-		Feed:           feed,
-		FrameCredits:   cfg.Serve.FrameCredits,
-		MaxFrameBytes:  cfg.Serve.MaxFrameBytes,
-		MaxVersion:     cfg.Serve.WireVersion,
-		DecodeWorkers:  cfg.Serve.DecodeWorkers,
-		IdleTimeout:    cfg.Serve.IdleTimeout,
-		CursorGrace:    cfg.Serve.CursorGrace,
-		SessionTimeout: cfg.Serve.SessionTimeout,
-		MaxConns:       cfg.Serve.MaxConns,
-		Faults:         cfg.Serve.Faults,
+	s := &Server{
+		exec:    exec,
+		store:   store,
+		capture: capture,
+		feed:    feed,
+		wal:     walLog,
+		winSize: plan.Win.Size,
+	}
+
+	// Recovery proper: restore the checkpoint, replay unsealed frames
+	// through the normal feed path, and rebuild the session table —
+	// all before the listener opens, so a reconnecting client can only
+	// ever observe the fully restored state.
+	var restored restoredState
+	if recovering {
+		t0 := time.Now()
+		restored, err = recoverState(walLog, ck, feed, store, plan.Win)
+		if err != nil {
+			feed.Close()
+			exec.Wait()
+			walLog.Close()
+			return nil, err
+		}
+		s.recoveryNs = time.Since(t0).Nanoseconds()
+		s.recoveredSessions = int64(len(restored.sessions))
+		s.replayedFrames = restored.replayed
+	}
+
+	// A typed-nil *wal.Log must not reach the interface field, or the
+	// server's nil checks would pass and appends would panic.
+	var frameLog netio.FrameLog
+	if walLog != nil {
+		frameLog = walLog
+	}
+	ingest, err := netio.Listen(sc.IngestAddr, netio.ServerConfig{
+		Feed:            feed,
+		FrameCredits:    sc.FrameCredits,
+		MaxFrameBytes:   sc.MaxFrameBytes,
+		MaxVersion:      sc.WireVersion,
+		DecodeWorkers:   sc.DecodeWorkers,
+		IdleTimeout:     sc.IdleTimeout,
+		CursorGrace:     sc.CursorGrace,
+		SessionTimeout:  sc.SessionTimeout,
+		MaxConns:        sc.MaxConns,
+		Faults:          sc.Faults,
+		WAL:             frameLog,
+		ReapInterval:    sc.ReapInterval,
+		RestoreSessions: restored.sessions,
+		NextConnID:      restored.nextID,
 		Overloaded: func() bool {
 			return exec.DRAMUtilization() > runtime.BackpressureUtilization
 		},
@@ -837,8 +977,12 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 	if err != nil {
 		feed.Close()
 		exec.Wait()
+		if walLog != nil {
+			walLog.Close()
+		}
 		return nil, err
 	}
+	s.ingest = ingest
 
 	// If the pipeline dies (e.g. fatal DRAM exhaustion), close the
 	// ingest listener so clients see the connection drop instead of
@@ -849,12 +993,25 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 		ingest.Close()
 	}()
 
-	s := &Server{exec: exec, ingest: ingest, store: store, capture: capture}
-	if cfg.Serve.HTTPAddr != "" {
-		ln, err := net.Listen("tcp", cfg.Serve.HTTPAddr)
+	if walLog != nil {
+		s.ckStop = make(chan struct{})
+		s.ckDone = make(chan struct{})
+		interval := sc.CheckpointInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go s.checkpointLoop(interval)
+	}
+
+	if sc.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", sc.HTTPAddr)
 		if err != nil {
 			s.ingest.Close()
 			s.exec.Wait()
+			s.stopCheckpointer()
+			if walLog != nil {
+				walLog.Close()
+			}
 			return nil, err
 		}
 		s.httpLn = ln
@@ -862,6 +1019,211 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 		go s.httpSrv.Serve(ln)
 	}
 	return s, nil
+}
+
+// restoredState is what recovery hands the ingest listener.
+type restoredState struct {
+	sessions []netio.RestoredSession
+	nextID   int64
+	replayed int64
+}
+
+// recoverState rebuilds the serving state a crash interrupted: the
+// checkpoint seeds the result store, the feed's high-water mark and
+// every checkpointed session's watermark cursor; then the write-ahead
+// log replays every frame feeding a still-unsealed window through the
+// normal ingest path. Sessions are reconstructed as the join of the
+// checkpoint and the log — a session's durable ack is the max of its
+// checkpointed ack and the newest logged frame, and sessions that
+// ended for good (clean EOS, expiry) stay ended.
+func recoverState(log *wal.Log, ck *wal.Checkpoint, feed *netio.Feed, store *netio.ResultStore, win wm.Windowing) (restoredState, error) {
+	var rs restoredState
+	type sessInfo struct {
+		conn    int64
+		lastSeq uint64
+		parked  bool
+	}
+	byToken := make(map[uint64]*sessInfo)
+	ended := make(map[uint64]bool)
+	cursorSeen := make(map[int64]bool)
+	sessionless := make(map[int64]bool)
+	var sealedWM uint64
+	if ck != nil {
+		sealedWM = ck.SealedWM
+		rs.nextID = ck.NextConnID
+		for _, w := range ck.Windows {
+			rows := make([]netio.ResultRow, len(w.Rows))
+			for i, r := range w.Rows {
+				rows[i] = netio.ResultRow{Key: r.Key, Val: r.Val}
+			}
+			store.Publish(w.Sink, wm.Time(w.Start), wm.Time(w.End), rows)
+		}
+		feed.SeedHighTs(ck.HighTs)
+		for i := range ck.Sessions {
+			cs := &ck.Sessions[i]
+			// Floor the restored cursor at the sealed watermark. The
+			// checkpointed cursor can sit past the end of a window that
+			// was still open (unsealed) at checkpoint time; restoring it
+			// verbatim would let the watermark close that window the
+			// moment replay delivers its first batch, splitting its
+			// aggregate across one partial publish per redelivered
+			// frame. Capped at SealedWM, unsealed windows stay open
+			// until replay and resumed clients genuinely re-deliver
+			// past them, while every window the cap could close early
+			// is sealed — suppressed from sink and capture anyway.
+			ts := cs.CursorTs
+			if ts > ck.SealedWM {
+				ts = ck.SealedWM
+			}
+			feed.RestoreCursor(cs.Conn, ts, cs.Parked)
+			cursorSeen[cs.Conn] = true
+			byToken[cs.Token] = &sessInfo{conn: cs.Conn, lastSeq: cs.LastSeq, parked: cs.Parked}
+			if cs.Conn > rs.nextID {
+				rs.nextID = cs.Conn
+			}
+		}
+	}
+	_, err := log.ReplayExisting(func(rec *wal.Record) error {
+		switch rec.Kind {
+		case wal.KindSessionEnd:
+			ended[rec.Token] = true
+			return nil
+		case wal.KindFrame:
+		default:
+			return nil
+		}
+		if rec.Conn > rs.nextID {
+			rs.nextID = rec.Conn
+		}
+		if rec.Token != 0 {
+			si := byToken[rec.Token]
+			if si == nil {
+				si = &sessInfo{conn: rec.Conn}
+				byToken[rec.Token] = si
+			}
+			if rec.Seq > si.lastSeq {
+				si.lastSeq = rec.Seq
+			}
+		} else {
+			sessionless[rec.Conn] = true
+		}
+		// Every connection seen in the log gets a cursor even when its
+		// frames need no replay, so the watermark keeps waiting for a
+		// resumable session's late data.
+		if !cursorSeen[rec.Conn] {
+			cursorSeen[rec.Conn] = true
+			feed.RestoreCursor(rec.Conn, 0, false)
+		}
+		// A frame only feeds windows ending by MaxTs+Size; when the
+		// checkpoint sealed all of them, the frame's effects are
+		// already durable in the result snapshot.
+		if rec.MaxTs+uint64(win.Size) <= sealedWM {
+			return nil
+		}
+		cols := feed.BorrowCols(rec.NRows)
+		rec.CopyCols(cols)
+		if !feed.Inject(rec.Conn, cols, rec.MaxTs) {
+			return fmt.Errorf("feed shut down during replay")
+		}
+		rs.replayed++
+		return nil
+	})
+	if err != nil {
+		return restoredState{}, fmt.Errorf("streambox: wal replay: %w", err)
+	}
+	// Cursors that can never see another byte: sessionless connections
+	// (their clients cannot resume) and sessions that ended for good.
+	// The retire sentinel rides the feed behind the replayed data.
+	for conn := range sessionless {
+		feed.Retire(conn)
+	}
+	for token := range ended {
+		if si := byToken[token]; si != nil {
+			feed.Retire(si.conn)
+			delete(byToken, token)
+		}
+	}
+	for token, si := range byToken {
+		rs.sessions = append(rs.sessions, netio.RestoredSession{
+			Token:   token,
+			Conn:    si.conn,
+			LastSeq: si.lastSeq,
+			Parked:  si.parked,
+		})
+	}
+	return rs, nil
+}
+
+// checkpointLoop periodically persists the recovery metadata and
+// retires log segments the latest checkpoint makes redundant.
+func (s *Server) checkpointLoop(interval time.Duration) {
+	defer close(s.ckDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckStop:
+			return
+		case <-t.C:
+			s.writeCheckpoint()
+		}
+	}
+}
+
+// writeCheckpoint persists one recovery checkpoint: the sealed
+// watermark, the session table joined with its watermark cursors, and
+// the sealed result windows. Only after the checkpoint is durable does
+// it retire the log segments whose every window it seals.
+func (s *Server) writeCheckpoint() error {
+	sealedWM := s.exec.SealedWatermark()
+	cursors := make(map[int64]netio.CursorState)
+	for _, c := range s.feed.Cursors() {
+		cursors[c.Conn] = c
+	}
+	ck := &wal.Checkpoint{
+		SealedWM:   uint64(sealedWM),
+		HighTs:     s.feed.HighTs(),
+		NextConnID: s.ingest.NextID(),
+	}
+	for _, sess := range s.ingest.SessionSnapshot() {
+		st := wal.SessionState{Token: sess.Token, Conn: sess.Conn, LastSeq: sess.LastSeq}
+		if c, ok := cursors[sess.Conn]; ok {
+			st.CursorTs, st.Parked = c.Ts, c.Parked
+		}
+		ck.Sessions = append(ck.Sessions, st)
+	}
+	// Persist sealed windows only: anything newer will be rebuilt from
+	// the log on recovery, and persisting it here would double-publish
+	// rows when the rebuilt window merges into the restored store.
+	for _, w := range s.store.Snapshot() {
+		if w.End > sealedWM {
+			continue
+		}
+		ws := wal.WindowState{Sink: w.Sink, Start: uint64(w.Start), End: uint64(w.End)}
+		for _, r := range w.Rows {
+			ws.Rows = append(ws.Rows, wal.RowState{Key: r.Key, Val: r.Val})
+		}
+		ck.Windows = append(ck.Windows, ws)
+	}
+	if err := wal.WriteCheckpoint(s.wal.Dir(), ck); err != nil {
+		return err
+	}
+	if uint64(sealedWM) > uint64(s.winSize) {
+		if _, err := s.wal.RetireThrough(uint64(sealedWM) - uint64(s.winSize)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stopCheckpointer stops the checkpoint loop and waits it out; safe to
+// call repeatedly and without a WAL.
+func (s *Server) stopCheckpointer() {
+	if s.ckStop == nil {
+		return
+	}
+	s.ckOnce.Do(func() { close(s.ckStop) })
+	<-s.ckDone
 }
 
 // scrapeMetrics gathers one /metrics view from the live execution and
@@ -891,6 +1253,25 @@ func (s *Server) scrapeMetrics() netio.Metrics {
 	m.WindowStateBytes = s.exec.WindowStateBytes()
 	m.PaneRuns, m.SharedRunRefs = s.exec.PaneStats()
 	m.KLow, m.KHigh = s.exec.KnobState()
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		m.WALEnabled = true
+		m.WALAppendedFrames = ws.AppendedFrames
+		m.WALAppendedBytes = ws.AppendedBytes
+		m.WALSyncs = ws.Syncs
+		m.WALFsyncP99Ns = ws.FsyncP99Ns
+		m.WALSegmentsActive = ws.SegmentsActive
+		m.WALSegmentsRetired = ws.SegmentsRetired
+		for _, b := range ws.Fsync {
+			le := b.LeNs
+			if le == int64(^uint64(0)>>1) {
+				le = -1 // netio renders -1 as the +Inf bucket
+			}
+			m.WALFsync = append(m.WALFsync, netio.FsyncBucket{LeNs: le, Count: b.Count})
+		}
+		m.RecoveredSessions = s.recoveredSessions
+		m.ReplayedFrames = s.replayedFrames
+	}
 	return m
 }
 
@@ -905,9 +1286,25 @@ func (s *Server) HTTPAddr() string {
 	return s.httpLn.Addr().String()
 }
 
+// WindowResult is one closed window's published results, as served by
+// GET /windows and returned by Server.Results.
+type WindowResult = netio.WindowResult
+
 // Results returns the live result store (the same data GET /windows
 // serves).
 func (s *Server) Results() []netio.WindowResult { return s.store.Snapshot() }
+
+// RecoveredSessions reports how many resumable sessions recovery
+// restored (0 without ServeConfig.RecoverDir).
+func (s *Server) RecoveredSessions() int64 { return s.recoveredSessions }
+
+// ReplayedFrames reports how many logged frames recovery replayed
+// through the pipeline.
+func (s *Server) ReplayedFrames() int64 { return s.replayedFrames }
+
+// RecoveryNs reports how long recovery took before the listener
+// opened, in nanoseconds.
+func (s *Server) RecoveryNs() int64 { return s.recoveryNs }
 
 // Shutdown gracefully stops the server: the ingest listener closes,
 // open connections are severed, buffered batches drain through the
@@ -918,6 +1315,26 @@ func (s *Server) Shutdown() (Report, error) {
 	rep, err := s.exec.Wait()
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
+	}
+	var walStats wal.Stats
+	if s.wal != nil {
+		// The drain pushed the watermark past every window: one final
+		// checkpoint seals the complete run, after which the log
+		// segments are redundant and a restart recovers from the
+		// checkpoint alone.
+		s.stopCheckpointer()
+		ckErr := s.writeCheckpoint()
+		walStats = s.wal.Stats()
+		s.wal.Close()
+		if ckErr == nil {
+			if purgeErr := wal.PurgeSegments(s.wal.Dir()); purgeErr == nil {
+				walStats.SegmentsActive = 0
+			} else if err == nil {
+				err = purgeErr
+			}
+		} else if err == nil {
+			err = ckErr
+		}
 	}
 	if s.capture != nil {
 		s.capture.Rows = s.capture.Rows[:0]
@@ -948,6 +1365,16 @@ func (s *Server) Shutdown() (Report, error) {
 		ShedConns:                 ctr.ShedConns,
 		ExpiredSessions:           ctr.ExpiredSessions,
 		IdleTimeouts:              ctr.IdleTimeouts,
+	}
+	if s.wal != nil {
+		out.WALAppendedFrames = walStats.AppendedFrames
+		out.WALSyncs = walStats.Syncs
+		out.WALFsyncP99Ns = walStats.FsyncP99Ns
+		out.WALSegmentsActive = walStats.SegmentsActive
+		out.WALSegmentsRetired = walStats.SegmentsRetired
+		out.RecoveredSessions = s.recoveredSessions
+		out.ReplayedFrames = s.replayedFrames
+		out.RecoveryNs = s.recoveryNs
 	}
 	return out, err
 }
