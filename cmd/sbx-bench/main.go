@@ -5,28 +5,36 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	goruntime "runtime"
+	"time"
 
 	streambox "streambox"
 	"streambox/internal/engine"
 	"streambox/internal/experiments"
 	"streambox/internal/ingress"
+	"streambox/internal/memsim"
 	"streambox/internal/ops"
 	"streambox/internal/runtime"
 	"streambox/internal/wm"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|figmerge|figpanes|all, native, alloc, close, or panes")
+	exp := flag.String("exp", "all", "figure to run: fig2|fig7|fig8|fig9|fig10|fig11|figmerge|figpanes|all, native, alloc, close, panes, or adaptive")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	records := flag.Float64("records", 10e6, "records per native measurement")
+	jsonPath := flag.String("json", "", "write -exp adaptive results to this file as JSON")
 	flag.Parse()
 
 	if *exp == "native" {
 		benchNative(*records, *quick)
+		return
+	}
+	if *exp == "adaptive" {
+		benchAdaptive(*records, *quick, *jsonPath)
 		return
 	}
 	if *exp == "alloc" {
@@ -279,6 +287,149 @@ func benchAlloc(records float64, quick bool) {
 			fmt.Printf("%-10d %-8s %10.1f %12.5f %12.1f %12.2f %14d\n",
 				w, mode, rep.Throughput/1e6, rep.AllocsPerRecord,
 				rep.AllocBytesPerRecord, float64(rep.GCPauseNs)/1e6, rep.SlabsRecycled)
+		}
+	}
+}
+
+// adaptiveLeg is one row of the -exp adaptive sweep, serialized into
+// the -json artifact (BENCH_adaptive.json in CI).
+type adaptiveLeg struct {
+	Name               string  `json:"name"`
+	KLow               float64 `json:"k_low"`
+	KHigh              float64 `json:"k_high"`
+	Spill              bool    `json:"spill"`
+	Error              string  `json:"error,omitempty"`
+	Records            int64   `json:"records"`
+	MRecSec            float64 `json:"mrec_per_sec"`
+	SpilledRuns        int64   `json:"spilled_runs"`
+	SpilledBytes       int64   `json:"spilled_bytes"`
+	SpillLoads         int64   `json:"spill_loads"`
+	SpillLoadFallbacks int64   `json:"spill_load_fallbacks"`
+	CtrlDecisions      int64   `json:"ctrl_decisions"`
+	CtrlEvictTicks     int64   `json:"ctrl_evict_ticks"`
+	CloseP99Ms         float64 `json:"close_p99_ms"`
+	PeakStateBytes     int64   `json:"peak_state_bytes"`
+	Overshoot          float64 `json:"overshoot"`
+}
+
+// benchAdaptive is the degradation-ladder sweep: a drifting workload
+// whose live window state overshoots a deliberately tiny HBM+DRAM
+// budget by ~2x (the watermark stalls for three windows at a time, so
+// sealed-but-unclosed state piles up, then drains), run under the
+// adaptive placement controller versus fixed {k_low, k_high} pins.
+// Pinned legs without a spill tier reproduce today's failure mode —
+// the pool exhausts and the run dies — while the controller absorbs
+// the same overshoot by shifting placement and evicting cold sealed
+// runs to the mmap'd spill file, finishing with zero dropped records
+// and bit-identical windows. Pinned legs with the spill tier attached
+// keep only the reactive exhaustion-path eviction, isolating what the
+// proactive control loop buys. -json writes the table as JSON for CI.
+func benchAdaptive(records float64, quick bool, jsonPath string) {
+	if quick {
+		records /= 2
+	}
+	// The budget is sized so the stalled windows' sorted pairs alone
+	// (16 B/record live, before counting their source bundles) are
+	// about twice HBM+DRAM at the watermark stall's deepest point.
+	const (
+		hbmCap        = int64(10) << 20
+		dramCap       = int64(22) << 20
+		reservedHBM   = int64(3) << 20
+		spillCap      = int64(512) << 20
+		windowRecords = 500_000
+		bundleRecords = 10_000
+		// Watermarks arrive every 450 bundles = 4.5e6 records: nine
+		// full windows seal and sit cold before each close volley, so
+		// live sorted-run state alone reaches ~2x the memory budget
+		// (4.5e6 x 16 B = 72 MiB against the 32 MiB budget).
+		watermarkEvery = 450
+	)
+	machine := memsim.KNLConfig()
+	machine.Tiers[memsim.HBM].Capacity = hbmCap
+	machine.Tiers[memsim.DRAM].Capacity = dramCap
+	budget := hbmCap + dramCap
+
+	legs := []struct {
+		name  string
+		knob  *[2]float64
+		spill bool
+	}{
+		{"adaptive", nil, true},
+		{"pinned-1.0-1.0", &[2]float64{1, 1}, true},
+		{"pinned-0.5-0.5", &[2]float64{0.5, 0.5}, true},
+		{"pinned-0.0-0.0", &[2]float64{0, 0}, true},
+		// One no-spill leg reproduces today's failure mode. {1, 1} is
+		// where the knob schedule starts, and it dies fast; all-DRAM
+		// pins instead limp for minutes on forced-watermark drains, so
+		// they are not worth a CI leg.
+		{"pinned-1.0-1.0-nospill", &[2]float64{1, 1}, false},
+	}
+	fmt.Printf("Degradation ladder: adaptive controller vs fixed knobs, %d MiB budget, ~2x overshoot\n",
+		budget>>20)
+	fmt.Printf("%-24s %10s %12s %12s %10s %12s %12s %s\n",
+		"mode", "Mrec/s", "spilledMiB", "spillloads", "ctrldec", "closeP99ms", "peakstate/b", "outcome")
+	results := make([]adaptiveLeg, 0, len(legs))
+	for _, leg := range legs {
+		plan := runtime.Plan{
+			Gen: ingress.NewKV(ingress.KVConfig{Keys: 1 << 10, Seed: 1}),
+			Source: engine.SourceConfig{
+				Name: "adaptive", Rate: records, BundleRecords: bundleRecords,
+				WindowRecords: windowRecords, WatermarkEvery: watermarkEvery,
+			},
+			Win:          wm.Fixed(windowRecords),
+			TotalRecords: int64(records),
+			TsCol:        2, KeyCol: 0, ValCol: 1,
+			NewAgg: ops.Sum(), Label: "adaptive",
+		}
+		cfg := runtime.Config{
+			Machine:        machine,
+			ReservedHBM:    reservedHBM,
+			PinnedKnob:     leg.knob,
+			ExhaustTimeout: 750 * time.Millisecond,
+		}
+		if leg.spill {
+			cfg.SpillCapacity = spillCap
+		}
+		rep, err := runtime.Run(plan, cfg)
+		row := adaptiveLeg{
+			Name: leg.name, Spill: leg.spill,
+			KLow: rep.KLow, KHigh: rep.KHigh,
+			Records:            rep.IngestedRecords,
+			MRecSec:            rep.Throughput / 1e6,
+			SpilledRuns:        rep.SpilledRuns,
+			SpilledBytes:       rep.SpilledBytes,
+			SpillLoads:         rep.SpillLoads,
+			SpillLoadFallbacks: rep.SpillLoadFallbacks,
+			CtrlDecisions:      rep.CtrlDecisions,
+			CtrlEvictTicks:     rep.CtrlEvictTicks,
+			CloseP99Ms:         float64(rep.CloseP99Nanos) / 1e6,
+			PeakStateBytes:     rep.PeakWindowStateTotalBytes,
+			Overshoot:          float64(rep.PeakWindowStateTotalBytes) / float64(budget),
+		}
+		outcome := "ok"
+		if err != nil {
+			row.Error = err.Error()
+			outcome = "FAILED: " + err.Error()
+		}
+		fmt.Printf("%-24s %10.1f %12.1f %12d %10d %12.2f %12.2f %s\n",
+			leg.name, row.MRecSec, float64(row.SpilledBytes)/float64(1<<20),
+			row.SpillLoads, row.CtrlDecisions, row.CloseP99Ms, row.Overshoot, outcome)
+		results = append(results, row)
+	}
+	if jsonPath != "" {
+		out := struct {
+			BudgetBytes int64         `json:"budget_bytes"`
+			HBMBytes    int64         `json:"hbm_bytes"`
+			DRAMBytes   int64         `json:"dram_bytes"`
+			Legs        []adaptiveLeg `json:"legs"`
+		}{budget, hbmCap, dramCap, results}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -53,6 +53,17 @@ func (k *Knob) Snapshot() (kLow, kHigh float64) {
 	return k.KLow, k.KHigh
 }
 
+// Set pins the knob to an explicit (k_low, k_high) pair, clamped to
+// [0,1]. The native runtime's adaptive placement controller drives the
+// knob through Set from its own control loop; fixed-knob ablations pin
+// it once at start and never call Update.
+func (k *Knob) Set(kLow, kHigh float64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.KLow = clamp01(kLow)
+	k.KHigh = clamp01(kHigh)
+}
+
 // WantHBM draws the placement decision for a new KPA with the given tag.
 // It is safe to call from concurrent worker goroutines.
 func (k *Knob) WantHBM(tag Tag) bool {

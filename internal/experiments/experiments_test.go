@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"streambox/internal/memsim"
+	"streambox/internal/parsefmt"
 )
 
 // tinyScale keeps experiment smoke tests fast.
@@ -246,6 +247,22 @@ func TestFig10KnobResponds(t *testing.T) {
 }
 
 func TestFig11Shapes(t *testing.T) {
+	// Pin deterministic per-format host rates (in §7.4's measured
+	// order) so the assertions test the projection plumbing instead of
+	// racing the host scheduler — the real measureParse times a 100 ms
+	// wall-clock loop, which inverts under load (e.g. -race on a busy
+	// CI box).
+	defer func(old func(parsefmt.Format, []byte, int) float64) { measureParseFn = old }(measureParseFn)
+	measureParseFn = func(f parsefmt.Format, data []byte, recs int) float64 {
+		switch f {
+		case parsefmt.Text:
+			return 30e6
+		case parsefmt.PB:
+			return 10e6
+		default: // JSON
+			return 2e6
+		}
+	}
 	rows := Fig11(50)
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d, want 3 formats x 2 machines", len(rows))

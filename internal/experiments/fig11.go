@@ -31,7 +31,7 @@ func Fig11(engineMRecKNL float64) []Fig11Row {
 	var rows []Fig11Row
 	for _, f := range []parsefmt.Format{parsefmt.JSON, parsefmt.PB, parsefmt.Text} {
 		data := parsefmt.Encode(f, recs)
-		perCoreHost := measureParse(f, data, len(recs))
+		perCoreHost := measureParseFn(f, data, len(recs))
 		knl := perCoreHost * parsefmt.KNLParseScale * 64
 		x56 := perCoreHost * parsefmt.X56ParseScale * 56
 		knlRow := Fig11Row{Format: f.String(), Machine: "KNL", MRecSec: knl / 1e6}
@@ -61,6 +61,12 @@ func sampleYSBRecords(n int) []parsefmt.Record {
 	}
 	return out
 }
+
+// measureParseFn indirects the wall-clock rate measurement so tests
+// can substitute deterministic per-format rates: the shapes worth
+// pinning (format ordering, machine projection) live in the plumbing
+// around the measurement, not in the host's scheduler.
+var measureParseFn = measureParse
 
 // measureParse returns the host's single-core parse rate in records/s,
 // timing repeated decodes for at least 100 ms.

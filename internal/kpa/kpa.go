@@ -15,6 +15,7 @@ package kpa
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"streambox/internal/algo"
@@ -89,6 +90,18 @@ type KPA struct {
 	alloc   *mempool.Allocation
 	// refs is the KPA's own reference count; <= 0 means destroyed.
 	refs atomic.Int32
+
+	// vals marks a value-resident KPA: each pair's Ptr field holds the
+	// aggregation value itself, materialized from the source bundles,
+	// and sources is empty. Runs become value-resident when evicted to
+	// the spill tier (a spill record must be self-contained, and
+	// dropping the bundle links is what actually frees DRAM) or when a
+	// close mixes spilled with in-memory runs (merge inputs must agree
+	// on pointer semantics). See residency.go.
+	vals bool
+	// resMu serializes residency transitions (Evict/EnsureResident):
+	// two closes sharing a spilled pane run may both demand a load.
+	resMu sync.Mutex
 }
 
 // SyntheticKey marks a KPA whose resident keys were computed (e.g. an

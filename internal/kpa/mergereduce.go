@@ -85,10 +85,15 @@ func MergeReduceRange(runs []*KPA, lo, hi []int, valCol int, factory AggFactory,
 	// Per-run single-entry deref cache: first-level runs reference one
 	// bundle, so the common case is an array hit instead of a map lookup
 	// per pair. Misses fall back to the owning run's source map.
+	// Value-resident runs (loaded back from the spill tier) carry their
+	// values in Ptr and skip dereferencing entirely; the merge may mix
+	// pointer and value runs freely because resolution is per run.
 	cachedID := make([]uint32, len(runs))
 	cached := make([]*bundle.Bundle, len(runs))
+	valsRes := make([]bool, len(runs))
 	for j, r := range runs {
-		if lo[j] < hi[j] {
+		valsRes[j] = r.vals
+		if !r.vals && lo[j] < hi[j] {
 			p := r.pairs[lo[j]].Ptr
 			cached[j] = r.sources[PtrBundle(p)]
 			cachedID[j] = PtrBundle(p)
@@ -108,6 +113,10 @@ func MergeReduceRange(runs []*KPA, lo, hi []int, valCol int, factory AggFactory,
 			cur = p.Key
 			agg = factory()
 			started = true
+		}
+		if valsRes[run] {
+			agg.Add(p.Ptr)
+			return
 		}
 		id := PtrBundle(p.Ptr)
 		b := cached[run]
@@ -136,6 +145,14 @@ func MergeK(runs []*KPA, al Allocator) (*KPA, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pairs are copied verbatim, so every input must agree on what Ptr
+	// means — all pointer runs or all value-resident runs. The runtime
+	// converts a close's runs to one mode before compacting.
+	for _, r := range runs {
+		if r.vals != runs[0].vals {
+			return nil, fmt.Errorf("kpa: k-way merge of mixed pointer/value-resident runs")
+		}
+	}
 	total := 0
 	segs := make([][]algo.Pair, len(runs))
 	for j, r := range runs {
@@ -153,5 +170,6 @@ func MergeK(runs []*KPA, al Allocator) (*KPA, error) {
 		out.inheritSources(r)
 	}
 	out.sorted = true
+	out.vals = runs[0].vals
 	return out, nil
 }

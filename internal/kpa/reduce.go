@@ -32,11 +32,15 @@ func ReduceByKey(k *KPA, valCol int, factory AggFactory, emit func(key, result u
 		key := k.pairs[i].Key
 		agg := factory()
 		for i < n && k.pairs[i].Key == key {
-			src, r := k.Deref(k.pairs[i].Ptr)
-			if valCol < 0 || valCol >= src.Schema().NumCols {
-				return fmt.Errorf("kpa: reduce value column %d out of range", valCol)
+			if k.vals {
+				agg.Add(k.pairs[i].Ptr)
+			} else {
+				src, r := k.Deref(k.pairs[i].Ptr)
+				if valCol < 0 || valCol >= src.Schema().NumCols {
+					return fmt.Errorf("kpa: reduce value column %d out of range", valCol)
+				}
+				agg.Add(src.At(r, valCol))
 			}
-			agg.Add(src.At(r, valCol))
 			i++
 		}
 		emit(key, agg.Result())
@@ -86,6 +90,10 @@ func GroupScan(k *KPA, fn func(key uint64, lo, hi int)) error {
 // loading value column valCol through the pointers.
 func ReduceAll(k *KPA, valCol int, agg Agg) error {
 	for _, p := range k.pairs {
+		if k.vals {
+			agg.Add(p.Ptr)
+			continue
+		}
 		src, r := k.Deref(p.Ptr)
 		if valCol < 0 || valCol >= src.Schema().NumCols {
 			return fmt.Errorf("kpa: reduce value column %d out of range", valCol)

@@ -1,0 +1,197 @@
+package kpa
+
+import (
+	"fmt"
+
+	"streambox/internal/algo"
+	"streambox/internal/mempool"
+	"streambox/internal/memsim"
+	"streambox/internal/spill"
+)
+
+// Run residency: the cold rung of the degradation ladder.
+//
+// A sealed, sorted run can be evicted to the spill tier (Evict) and
+// transparently brought back before its window closes (EnsureResident).
+// Eviction materializes values: every pair's bundle pointer is
+// dereferenced once and replaced by the value itself, the bundle links
+// drop, and the pairs land in one self-contained spill record. That is
+// what makes eviction actually relieve memory pressure — the pair slab
+// is only 16 B/record, the bundles behind it are the bulk, and they
+// free as soon as the last KPA link releases them.
+//
+// Concurrency contract: Evict may only be called while the run is
+// quiescent — no merge reads it and no covering window is closing; the
+// runtime guarantees this by evicting under its window-table lock.
+// EnsureResident is idempotent and serialized per KPA (resMu), so the
+// closes of two windows sharing a spilled pane run can both demand the
+// load; each close must call it (even when it no-ops) before reading
+// the pairs, because the lock handoff is what publishes the loaded
+// slab to that close's merge tasks.
+
+// ValuesResident reports whether the pairs carry materialized values in
+// Ptr instead of bundle pointers.
+func (k *KPA) ValuesResident() bool { return k.vals }
+
+// Spilled reports whether the run currently lives on the spill tier.
+func (k *KPA) Spilled() bool { return k.tier == memsim.Spill }
+
+// dropSources releases every source-bundle link.
+func (k *KPA) dropSources() {
+	for _, b := range k.sources {
+		b.Release()
+	}
+	k.sources = nil
+}
+
+// valueOf resolves one pair to its aggregation value: the materialized
+// value for a value-resident run, a bundle dereference otherwise.
+func (k *KPA) valueOf(p algo.Pair, valCol int) uint64 {
+	if k.vals {
+		return p.Ptr
+	}
+	b, row := k.Deref(p.Ptr)
+	return b.At(row, valCol)
+}
+
+// MaterializeValues converts the run to value-resident in place:
+// pointers become values of valCol and the source-bundle links drop.
+// The caller must hold the only reference (Refs()==1) or otherwise
+// guarantee no concurrent reader — sharers still expect pointers. Use
+// CloneValues for shared runs.
+func (k *KPA) MaterializeValues(valCol int) error {
+	if k.vals {
+		return nil
+	}
+	if err := k.checkValCol(valCol); err != nil {
+		return err
+	}
+	for i, p := range k.pairs {
+		b, row := k.Deref(p.Ptr)
+		k.pairs[i].Ptr = b.At(row, valCol)
+	}
+	k.dropSources()
+	k.vals = true
+	return nil
+}
+
+// CloneValues returns a new value-resident run with the same pairs,
+// metadata and sort state, allocated via al. The receiver is left
+// untouched — this is the shared-run variant of MaterializeValues,
+// safe while other windows concurrently read the original.
+func (k *KPA) CloneValues(valCol int, al Allocator) (*KPA, error) {
+	if err := k.checkValCol(valCol); err != nil {
+		return nil, err
+	}
+	out, err := newKPA(k.Len(), k.resident, al)
+	if err != nil {
+		return nil, err
+	}
+	out.pairs = out.pairs[:k.Len()]
+	for i, p := range k.pairs {
+		out.pairs[i] = algo.Pair{Key: p.Key, Ptr: k.valueOf(p, valCol)}
+	}
+	out.sorted = k.sorted
+	out.meta = k.meta
+	out.vals = true
+	return out, nil
+}
+
+// checkValCol validates valCol against every source bundle's schema
+// (vacuously true for value-resident runs, which have no sources).
+func (k *KPA) checkValCol(valCol int) error {
+	if k.vals {
+		return nil
+	}
+	for _, b := range k.sources {
+		if valCol < 0 || valCol >= b.Schema().NumCols {
+			return fmt.Errorf("kpa: value column %d out of range", valCol)
+		}
+	}
+	return nil
+}
+
+// Evict moves a sealed, sorted run to the spill tier: values are
+// materialized from valCol straight into one spill record (header +
+// pair payload) in the pool's mmap'd arena, the bundle links and the
+// memory-tier slab free, and the KPA's pairs become a zero-copy view
+// of the record payload. Returns the bytes of pair slab released from
+// the run's former tier. Fails without side effects when the spill
+// tier is detached or full (mempool.ErrExhausted) — the caller stops
+// evicting and lets backpressure take over.
+//
+// The caller must guarantee quiescence: no concurrent reader of the
+// run (the runtime evicts only runs of non-closing windows, under the
+// lock that close-collection takes).
+func (k *KPA) Evict(pool *mempool.Pool, valCol int) (freed int64, err error) {
+	k.resMu.Lock()
+	defer k.resMu.Unlock()
+	if k.tier == memsim.Spill {
+		return 0, nil
+	}
+	if !k.sorted {
+		return 0, fmt.Errorf("kpa: evict of unsorted run")
+	}
+	if err := k.checkValCol(valCol); err != nil {
+		return 0, err
+	}
+	n := k.Len()
+	alloc, err := pool.Alloc(memsim.Spill, int64(spill.RecordBytes(n)))
+	if err != nil {
+		return 0, err
+	}
+	buf := alloc.Bytes()
+	payload := spill.PayloadView(buf, n)
+	for i, p := range k.pairs {
+		payload[i] = algo.Pair{Key: p.Key, Ptr: k.valueOf(p, valCol)}
+	}
+	rec := spill.Record{Sorted: true, Resident: k.resident, Meta: k.meta, Pairs: payload}
+	spill.EncodeInto(buf, &rec)
+
+	freed = k.Bytes()
+	k.dropSources()
+	if k.alloc != nil {
+		k.alloc.Free()
+	}
+	k.alloc = alloc
+	k.pairs = payload
+	k.tier = memsim.Spill
+	k.vals = true
+	return freed, nil
+}
+
+// EnsureResident loads a spilled run back onto a memory tier chosen by
+// al, copying the record payload into a fresh pair slab and freeing
+// the spill extent; loaded reports whether this call performed the
+// load. Idempotent: a run already in memory returns immediately, and
+// concurrent callers serialize on the KPA, so exactly one performs the
+// load. On allocation failure the run stays spilled and remains
+// readable through its mmap view — the caller may merge directly over
+// it (slower, never wrong).
+func (k *KPA) EnsureResident(al Allocator) (loaded bool, err error) {
+	k.resMu.Lock()
+	defer k.resMu.Unlock()
+	if k.tier != memsim.Spill {
+		return false, nil
+	}
+	n := k.Len()
+	tier, alloc, err := al.AllocKPA(k.Bytes())
+	if err != nil {
+		return false, err
+	}
+	var pairs []algo.Pair
+	if alloc != nil {
+		pairs = alloc.Pairs(n)
+	} else {
+		pairs = make([]algo.Pair, n)
+	}
+	copy(pairs, k.pairs)
+	old := k.alloc
+	k.pairs = pairs
+	k.alloc = alloc
+	k.tier = tier
+	if old != nil {
+		old.Free()
+	}
+	return true, nil
+}

@@ -162,11 +162,15 @@ func ReduceByKeyRange(k *KPA, lo, hi, valCol int, factory AggFactory, emit func(
 		key := k.pairs[i].Key
 		agg := factory()
 		for i < hi && k.pairs[i].Key == key {
-			src, r := k.Deref(k.pairs[i].Ptr)
-			if valCol < 0 || valCol >= src.Schema().NumCols {
-				return fmt.Errorf("kpa: reduce value column %d out of range", valCol)
+			if k.vals {
+				agg.Add(k.pairs[i].Ptr)
+			} else {
+				src, r := k.Deref(k.pairs[i].Ptr)
+				if valCol < 0 || valCol >= src.Schema().NumCols {
+					return fmt.Errorf("kpa: reduce value column %d out of range", valCol)
+				}
+				agg.Add(src.At(r, valCol))
 			}
-			agg.Add(src.At(r, valCol))
 			i++
 		}
 		emit(key, agg.Result())

@@ -1,8 +1,15 @@
 // Package mempool implements the engine's custom slab allocator over the
-// two memory tiers (paper §5.1). Allocations are rounded up to fixed size
-// classes tuned to typical KPA, bundle and window sizes; the pool tracks
-// free capacity per tier, which feeds the runtime's resource monitor, and
-// keeps a small reserved HBM region for Urgent allocations.
+// machine's memory tiers (paper §5.1). The two real memory tiers — HBM
+// and DRAM — get allocations rounded up to fixed size classes tuned to
+// typical KPA, bundle and window sizes; the pool tracks free capacity
+// per tier, which feeds the runtime's resource monitor, and keeps a
+// small reserved HBM region for Urgent allocations. A third cold tier,
+// memsim.Spill, can be attached via AttachSpill: its allocations are
+// extents of an mmap'd file (internal/spill) behind the same
+// Allocation/TakeCol interfaces, giving the degradation ladder
+// HBM → DRAM → Spill a single allocator facade. The spill tier is
+// excluded from Pressure: a full spill file degrades latency, it must
+// never shed traffic.
 //
 // Beyond accounting, the pool is a real recycling allocator for the
 // engine's hottest object: the KPA pair array. Allocation.Pairs hands
@@ -14,12 +21,14 @@
 package mempool
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"streambox/internal/algo"
 	"streambox/internal/memsim"
+	"streambox/internal/spill"
 )
 
 // sizeClasses are the slab element sizes in bytes: 4 KiB .. 256 MiB in
@@ -51,14 +60,15 @@ func (e *ErrExhausted) Error() string {
 
 // Allocation is a live slab allocation. Free must be called exactly once.
 type Allocation struct {
-	pool    *Pool
-	tier    memsim.Tier
-	size    int64 // rounded class size actually charged
-	class   int   // size-class index, -1 for jumbo allocations
-	urgent  bool
-	freed   bool
-	pairs   []algo.Pair // backing slab, materialized by Pairs
-	Request int64       // the size the caller asked for
+	pool     *Pool
+	tier     memsim.Tier
+	size     int64 // rounded class size actually charged
+	class    int   // size-class index, -1 for jumbo allocations
+	urgent   bool
+	freed    bool
+	pairs    []algo.Pair // backing slab, materialized by Pairs
+	spillOff int64       // extent offset for spill-tier allocations
+	Request  int64       // the size the caller asked for
 }
 
 // Tier returns the tier the allocation lives on.
@@ -83,10 +93,27 @@ func (a *Allocation) Pairs(n int) []algo.Pair {
 	if int64(n)*memsim.PairBytes > a.size {
 		panic(fmt.Sprintf("mempool: Pairs(%d) exceeds %d-byte allocation", n, a.size))
 	}
+	if a.tier == memsim.Spill {
+		return a.pool.spill.Pairs(a.spillOff, n)
+	}
 	if a.pairs == nil {
 		a.pairs = a.pool.takeSlab(a.tier, a.class, a.size)
 	}
 	return a.pairs[:n]
+}
+
+// Bytes returns the raw extent of a spill-tier allocation as a view
+// into the mmap'd file — the surface the runtime encodes spill records
+// into (spill.EncodeInto) and decodes them from (spill.View). Panics
+// on memory-tier allocations, whose backing is typed pair slabs.
+func (a *Allocation) Bytes() []byte {
+	if a.freed {
+		panic("mempool: Bytes on freed allocation")
+	}
+	if a.tier != memsim.Spill {
+		panic("mempool: Bytes on memory-tier allocation")
+	}
+	return a.pool.spill.Bytes(a.spillOff, a.size)
 }
 
 // Free returns the allocation to its pool — both the capacity
@@ -110,6 +137,10 @@ func (a *Allocation) Free() {
 	}
 	a.pool.frees++
 	a.pool.mu.Unlock()
+	if a.tier == memsim.Spill {
+		a.pool.spill.Free(a.spillOff, a.size)
+		return
+	}
 	if a.pairs != nil {
 		a.pool.putSlab(a.tier, a.class, a.pairs)
 		a.pairs = nil
@@ -126,7 +157,7 @@ type Stats struct {
 	Recycled int64
 	// ColRecycled counts column-slab requests served from a free list.
 	ColRecycled int64
-	PeakUsed    [2]int64
+	PeakUsed    [memsim.NumTiers]int64
 }
 
 // slabList is one shard of a (tier, class) free list.
@@ -143,28 +174,33 @@ type colList struct {
 	slabs [][]uint64
 }
 
-// Pool is a two-tier slab allocator with capacity accounting and
-// per-size-class slab recycling.
+// Pool is a tiered slab allocator with capacity accounting and
+// per-size-class slab recycling over the memory tiers, plus an
+// optional attached spill arena for the cold tier.
 type Pool struct {
 	mu           sync.Mutex
-	cap          [2]int64
-	used         [2]int64
+	cap          [memsim.NumTiers]int64
+	used         [memsim.NumTiers]int64
 	reserved     int64 // HBM set aside for Urgent allocations
 	usedReserved int64
-	peak         [2]int64
+	peak         [memsim.NumTiers]int64
 	allocs       int64
 	frees        int64
 	failures     int64
 
+	// spill backs memsim.Spill allocations; nil when the cold tier is
+	// disabled. Set once by AttachSpill before concurrent use.
+	spill *spill.File
+
 	recycle  atomic.Bool
 	recycled atomic.Int64
 	shardRR  atomic.Uint32
-	free     [2][][slabShards]*slabList // [tier][class][shard]
+	free     [memsim.NumTiers][][slabShards]*slabList // [tier][class][shard]
 
-	colFree        [2][][slabShards]*colList // [tier][class][shard]
-	colCached      atomic.Int64              // column slabs sitting in free lists
-	colCachedBytes atomic.Int64              // their total capacity in bytes
-	colRecycled    atomic.Int64              // column requests served from a free list
+	colFree        [memsim.NumTiers][][slabShards]*colList // [tier][class][shard]
+	colCached      atomic.Int64                            // column slabs sitting in free lists
+	colCachedBytes atomic.Int64                            // their total capacity in bytes
+	colRecycled    atomic.Int64                            // column requests served from a free list
 }
 
 // New creates a pool with tier capacities from cfg. reservedHBM bytes of
@@ -181,7 +217,8 @@ func New(cfg memsim.Config, reservedHBM int64) *Pool {
 	p := &Pool{reserved: reservedHBM}
 	p.cap[memsim.HBM] = hbm - reservedHBM
 	p.cap[memsim.DRAM] = cfg.Tier(memsim.DRAM).Capacity
-	for t := 0; t < 2; t++ {
+	// Spill capacity stays zero until AttachSpill hands over a file.
+	for t := 0; t < memsim.NumTiers; t++ {
 		p.free[t] = make([][slabShards]*slabList, len(sizeClasses))
 		p.colFree[t] = make([][slabShards]*colList, len(sizeClasses))
 		for c := range p.free[t] {
@@ -193,6 +230,27 @@ func New(cfg memsim.Config, reservedHBM int64) *Pool {
 	}
 	p.recycle.Store(true)
 	return p
+}
+
+// AttachSpill connects an mmap'd spill arena as the cold tier. Must be
+// called before the pool sees concurrent use (the runtime attaches it
+// during Start, before workers run); attaching twice panics.
+func (p *Pool) AttachSpill(f *spill.File) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spill != nil {
+		panic("mempool: spill already attached")
+	}
+	p.spill = f
+	p.cap[memsim.Spill] = f.Capacity()
+}
+
+// Spill returns the attached cold-tier arena, or nil when the spill
+// tier is disabled.
+func (p *Pool) Spill() *spill.File {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spill
 }
 
 // SetRecycling toggles slab reuse; disabling it drops every cached slab
@@ -264,6 +322,14 @@ func classFloorIndex(n int64) int {
 // ingest path overwrites every element before reading (columnar frames
 // by io.ReadFull, row decoders by append).
 func (p *Pool) TakeCol(t memsim.Tier, rows int) []uint64 {
+	if t == memsim.Spill {
+		if f := p.Spill(); f != nil {
+			if col, err := f.TakeCol(rows); err == nil {
+				return col
+			}
+		}
+		return make([]uint64, rows) // cold tier disabled or full
+	}
 	bytes := int64(rows) * 8
 	class := classIndex(bytes)
 	if class >= 0 && p.recycle.Load() {
@@ -297,6 +363,12 @@ func (p *Pool) TakeCol(t memsim.Tier, rows int) []uint64 {
 // being thrown away); capacities below the smallest class go back to
 // the garbage collector.
 func (p *Pool) PutCol(t memsim.Tier, col []uint64) {
+	if t == memsim.Spill {
+		if f := p.Spill(); f != nil {
+			f.PutCol(col)
+		}
+		return
+	}
 	if !p.recycle.Load() {
 		return
 	}
@@ -374,10 +446,14 @@ func (p *Pool) ScratchFor(t memsim.Tier) *algo.Scratch {
 	}
 }
 
-// Alloc carves size bytes (class-rounded) from tier t.
+// Alloc carves size bytes from tier t: class-rounded slabs on the
+// memory tiers, extent-rounded mmap regions on the spill tier.
 func (p *Pool) Alloc(t memsim.Tier, size int64) (*Allocation, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mempool: invalid allocation size %d", size)
+	}
+	if t == memsim.Spill {
+		return p.allocSpill(size)
 	}
 	n := roundUp(size)
 	p.mu.Lock()
@@ -392,6 +468,35 @@ func (p *Pool) Alloc(t memsim.Tier, size int64) (*Allocation, error) {
 	}
 	p.allocs++
 	return &Allocation{pool: p, tier: t, size: n, class: classIndex(size), Request: size}, nil
+}
+
+// allocSpill carves an extent from the attached spill arena. Sizes are
+// rounded to the arena's 64-byte extent granularity rather than the
+// slab classes: spill records are variable-sized and class rounding
+// would waste up to half the file.
+func (p *Pool) allocSpill(size int64) (*Allocation, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spill == nil {
+		p.failures++
+		return nil, &ErrExhausted{Tier: memsim.Spill, Want: size, Free: 0}
+	}
+	off, err := p.spill.Alloc(size)
+	if err != nil {
+		p.failures++
+		var full *spill.ErrFull
+		if errors.As(err, &full) {
+			return nil, &ErrExhausted{Tier: memsim.Spill, Want: full.Want, Free: full.Free}
+		}
+		return nil, err
+	}
+	n := spill.RoundUp(size)
+	p.used[memsim.Spill] += n
+	if p.used[memsim.Spill] > p.peak[memsim.Spill] {
+		p.peak[memsim.Spill] = p.used[memsim.Spill]
+	}
+	p.allocs++
+	return &Allocation{pool: p, tier: memsim.Spill, size: n, class: -1, spillOff: off, Request: size}, nil
 }
 
 // AllocUrgent carves from the reserved HBM region, falling back to the
@@ -439,22 +544,29 @@ func (p *Pool) Capacity(t memsim.Tier) int64 {
 // Free returns the unallocated bytes on tier t.
 func (p *Pool) Free(t memsim.Tier) int64 { return p.Capacity(t) - p.Used(t) }
 
-// Utilization returns Used/Capacity on tier t in [0,1].
+// Utilization returns Used/Capacity on tier t in [0,1]. A zero-capacity
+// memory tier reads as fully utilized (X56 has no HBM: allocations must
+// go elsewhere), but a detached spill tier reads as empty — "no cold
+// tier" must not look like "cold tier full" on the ladder gauges.
 func (p *Pool) Utilization(t memsim.Tier) float64 {
 	c := p.Capacity(t)
 	if c == 0 {
+		if t == memsim.Spill {
+			return 0
+		}
 		return 1
 	}
 	return float64(p.Used(t)) / float64(c)
 }
 
 // Pressure is the pool's overall memory pressure: the worst utilization
-// across tiers. It is the admission-control signal — a server sheds new
-// connections when any tier is nearly exhausted, since a fresh stream
-// would only deepen the deficit.
+// across the real memory tiers. It is the admission-control signal — a
+// server sheds new connections when HBM or DRAM is nearly exhausted,
+// since a fresh stream would only deepen the deficit. The spill tier is
+// excluded: filling the cold tier degrades latency, never admission.
 func (p *Pool) Pressure() float64 {
 	max := 0.0
-	for t := memsim.Tier(0); t < 2; t++ {
+	for t := memsim.Tier(0); t < memsim.Tier(memsim.MemTiers); t++ {
 		if u := p.Utilization(t); u > max {
 			max = u
 		}
@@ -486,7 +598,7 @@ type TierSnapshot struct {
 // under a single lock acquisition (the per-field getters can tear
 // between tiers while allocations race).
 type Snapshot struct {
-	Tiers                  [2]TierSnapshot // indexed by memsim.Tier
+	Tiers                  [memsim.NumTiers]TierSnapshot // indexed by memsim.Tier
 	Reserved, UsedReserved int64
 	Allocs, Frees          int64
 	Failures               int64
@@ -504,16 +616,19 @@ func (p *Pool) Snapshot() Snapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var s Snapshot
-	for t := memsim.Tier(0); t < 2; t++ {
+	for t := memsim.Tier(0); t < memsim.Tier(memsim.NumTiers); t++ {
 		used, capa := p.used[t], p.cap[t]
 		if t == memsim.HBM {
 			used += p.usedReserved
 			capa += p.reserved
 		}
 		ts := TierSnapshot{Used: used, Capacity: capa, Peak: p.peak[t]}
-		if capa > 0 {
+		switch {
+		case capa > 0:
 			ts.Utilization = float64(used) / float64(capa)
-		} else {
+		case t == memsim.Spill:
+			ts.Utilization = 0 // cold tier disabled, not full
+		default:
 			ts.Utilization = 1
 		}
 		s.Tiers[t] = ts

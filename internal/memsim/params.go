@@ -19,8 +19,25 @@ const (
 	HBM Tier = iota
 	// DRAM is the commodity DDR4 tier: large capacity, limited bandwidth.
 	DRAM
+	// Spill is the cold tier: an mmap'd file holding evicted sealed
+	// window runs. It is not memory the machine model schedules traffic
+	// on — capacity comes from the attached spill file, not TierParams —
+	// but it indexes the same per-tier arrays (pool accounting, window
+	// state, metrics) so the degradation ladder HBM → DRAM → Spill reads
+	// uniformly everywhere.
+	Spill
 	numTiers
 )
+
+// NumTiers is the number of memory tiers, exported for per-tier arrays
+// outside this package (mempool accounting, runtime window-state
+// gauges, metrics exposition).
+const NumTiers = int(numTiers)
+
+// MemTiers is the number of real memory tiers (HBM, DRAM) — the tiers
+// the bandwidth model schedules and admission control watches. Spill is
+// excluded: a full spill file degrades service but must not shed it.
+const MemTiers = int(Spill)
 
 // String returns the conventional tier name.
 func (t Tier) String() string {
@@ -29,6 +46,8 @@ func (t Tier) String() string {
 		return "HBM"
 	case DRAM:
 		return "DRAM"
+	case Spill:
+		return "Spill"
 	default:
 		return fmt.Sprintf("Tier(%d)", int(t))
 	}
@@ -113,6 +132,7 @@ func KNLConfig() Config {
 				LatencyNS:  143,
 				PerCoreSeq: 6.0e9,
 			},
+			Spill: spillTierParams(),
 		},
 		RDMABW: 5.0e9,  // 40 Gb/s
 		EthBW:  1.25e9, // 10 Gb/s
@@ -145,9 +165,25 @@ func X56Config() Config {
 				LatencyNS:  131,
 				PerCoreSeq: 12.0e9,
 			},
+			Spill: spillTierParams(),
 		},
 		RDMABW: 0,
 		EthBW:  1.4e9, // "slightly faster" X540 per Fig 7 caption
+	}
+}
+
+// spillTierParams models the cold spill tier as an NVMe-class device:
+// sequential-friendly, latency three orders of magnitude above memory.
+// Capacity is zero because the real limit is the attached spill file,
+// not the machine model; the bandwidth figures exist so demand
+// accounting against the tier stays well defined.
+func spillTierParams() TierParams {
+	return TierParams{
+		Capacity:   0,
+		Bandwidth:  2.4e9,
+		RandomBW:   0.6e9,
+		LatencyNS:  90_000,
+		PerCoreSeq: 2.4e9,
 	}
 }
 
@@ -197,6 +233,13 @@ func (c Config) Validate() error {
 		p := c.Tiers[t]
 		if p.Capacity < 0 {
 			return fmt.Errorf("memsim: config %q: %v capacity negative", c.Name, t)
+		}
+		if t == Spill {
+			// The spill tier is file-backed: its capacity comes from the
+			// attached spill file and no simulated traffic is scheduled on
+			// it, so zero-value params (configs written before the tier
+			// existed, test machines) stay valid.
+			continue
 		}
 		if p.Bandwidth <= 0 || p.RandomBW <= 0 || p.PerCoreSeq <= 0 {
 			return fmt.Errorf("memsim: config %q: %v bandwidth must be positive", c.Name, t)

@@ -13,9 +13,10 @@ import (
 // serving layer fills it from the live runtime execution, the ingest
 // server and the result store.
 type Metrics struct {
-	// Per-tier mempool state, indexed by memsim.Tier (0 HBM, 1 DRAM).
-	MemUsed, MemCapacity [2]int64
-	MemUtilization       [2]float64
+	// Per-tier mempool state, indexed by memsim.Tier (0 HBM, 1 DRAM,
+	// 2 the mmap'd spill tier — capacity 0 unless attached).
+	MemUsed, MemCapacity [3]int64
+	MemUtilization       [3]float64
 	Allocs, Frees        int64
 	AllocFailures        int64
 	// Column-slab pool occupancy: the mempool's []uint64 free lists
@@ -27,7 +28,7 @@ type Metrics struct {
 	// intermediates), indexed like the mempool tiers. Pane sharing is
 	// what keeps the sliding-window figure ~overlap× below the
 	// duplicate-scatter baseline.
-	WindowStateBytes [2]int64
+	WindowStateBytes [3]int64
 	// Pane-sharing counters: sorted pane runs built, and the extra
 	// window references taken on them.
 	PaneRuns, SharedRunRefs int64
@@ -58,6 +59,16 @@ type Metrics struct {
 	WALFsync           []FsyncBucket
 	RecoveredSessions  int64
 	ReplayedFrames     int64
+	// Degradation ladder: the adaptive placement controller and the
+	// mmap'd cold spill tier. SpillEnabled gates the family so runs
+	// without a spill file scrape nothing extra.
+	SpillEnabled       bool
+	SpilledRuns        int64
+	SpilledBytes       int64
+	SpillLoads         int64
+	SpillUsedBytes     int64
+	SpillCapacityBytes int64
+	CtrlDecisions      int64
 }
 
 // FsyncBucket is one cumulative fsync-latency histogram bucket
@@ -67,7 +78,7 @@ type FsyncBucket struct {
 	Count int64
 }
 
-var tierNames = [2]string{"hbm", "dram"}
+var tierNames = [3]string{"hbm", "dram", "spill"}
 var priorityNames = [3]string{"low", "high", "urgent"}
 
 // WriteMetrics renders m in the Prometheus text exposition format.
@@ -139,6 +150,14 @@ func WriteMetrics(w io.Writer, m Metrics) {
 		gauge("streambox_wal_fsync_ns_count", "", m.WALSyncs)
 		gauge("streambox_recovered_sessions", "", m.RecoveredSessions)
 		gauge("streambox_replayed_frames_total", "", m.ReplayedFrames)
+	}
+	if m.SpillEnabled {
+		gauge("streambox_spill_evicted_runs_total", "", m.SpilledRuns)
+		gauge("streambox_spill_evicted_bytes_total", "", m.SpilledBytes)
+		gauge("streambox_spill_loads_total", "", m.SpillLoads)
+		gauge("streambox_spill_used_bytes", "", m.SpillUsedBytes)
+		gauge("streambox_spill_capacity_bytes", "", m.SpillCapacityBytes)
+		gauge("streambox_ctrl_decisions_total", "", m.CtrlDecisions)
 	}
 	for _, c := range m.PerConn {
 		l := fmt.Sprintf(`conn="%d",remote=%q,format=%q`, c.ID, c.Remote, c.Format)

@@ -593,8 +593,8 @@ func TestHTTPEndpoints(t *testing.T) {
 	st.Publish("out", 0, WindowTicks, []ResultRow{{Key: 3, Val: 42}})
 	h := NewHandler(st, func() Metrics {
 		return Metrics{
-			MemUsed:         [2]int64{1024, 2048},
-			MemCapacity:     [2]int64{4096, 8192},
+			MemUsed:         [3]int64{1024, 2048, 0},
+			MemCapacity:     [3]int64{4096, 8192, 0},
 			KLow:            0.5,
 			KHigh:           0.25,
 			QueueDepths:     [3]int{1, 2, 3},

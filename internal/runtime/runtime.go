@@ -32,6 +32,24 @@
 // performance-impact tags, with KPA placement drawn from the
 // demand-balance knob and ingestion backpressure driven by mempool
 // utilization.
+//
+// With Config.SpillCapacity set, the two memory tiers grow a third:
+// an mmap'd cold spill file (internal/spill) attached to the mempool
+// as memsim.Spill, forming a degradation ladder — HBM for hot KPAs,
+// DRAM for bundles and overflow, the spill file for sealed runs that
+// lost their heat. An adaptive placement controller (controller.go)
+// then replaces the paper's static knob schedule: each monitor tick it
+// drives {k_low, k_high} from pool occupancy, queue depths and
+// per-tier window-state bytes, and when utilization crosses the
+// eviction high-water mark it walks the coldest sealed quiescent runs
+// out to the spill file (spillpath.go), materializing their values so
+// the DRAM bundles free too. The ingest loop takes the same ladder
+// synchronously on pool exhaustion — evict first, force a watermark
+// only if the spill file cannot absorb the overshoot — and window
+// close transparently loads spilled runs back (or merges straight
+// over the mmap view), bit-identical to the never-spilled run. The
+// result: working sets ~2x the memory budget degrade into slower
+// closes instead of ErrOverloaded/ErrExhausted.
 package runtime
 
 import (
@@ -48,6 +66,7 @@ import (
 	"streambox/internal/kpa"
 	"streambox/internal/mempool"
 	"streambox/internal/memsim"
+	"streambox/internal/spill"
 	"streambox/internal/wm"
 )
 
@@ -238,6 +257,46 @@ type Config struct {
 	// the gcd pane width would shatter windows into too many panes
 	// (see maxPanesPerOverlap).
 	DirectSliding bool
+	// SpillDir and SpillCapacity enable the mmap'd cold spill tier: a
+	// SpillCapacity-byte temp file created under SpillDir (the system
+	// temp dir when empty), mmap'd and immediately unlinked, attached to
+	// the mempool as memsim.Spill. With the spill tier attached the
+	// adaptive placement controller replaces the paper's knob schedule:
+	// it drives {k_low, k_high} from a control loop over pool occupancy,
+	// queue depths and per-tier window-state bytes, and evicts the
+	// coldest sealed runs to the spill file before utilization reaches
+	// the shed threshold, so overload degrades to slower closes instead
+	// of ErrOverloaded/ErrExhausted. SpillCapacity = 0 disables the tier
+	// (and the controller) entirely.
+	SpillDir      string
+	SpillCapacity int64
+	// PinnedKnob pins the demand-balance knob to a fixed
+	// {k_low, k_high} for the whole run and disables both the paper's
+	// knob schedule and the adaptive controller. Ablation aid
+	// (cmd/sbx-bench -exp adaptive): the fixed settings the controller
+	// is measured against.
+	PinnedKnob *[2]float64
+	// EvictHighWater/EvictLowWater bound the controller's eviction
+	// hysteresis over the worst memory-tier utilization: eviction starts
+	// above the high water mark and continues until utilization falls
+	// back below the low water mark (0 picks 0.85 and 0.70). Only
+	// meaningful with SpillCapacity > 0.
+	EvictHighWater float64
+	EvictLowWater  float64
+	// ShedUtilization overrides the pool pressure above which the ingest
+	// server sheds new connections (0 picks the ShedUtilization
+	// constant, 0.98).
+	ShedUtilization float64
+}
+
+// ShedThreshold returns the admission-shed pressure threshold for this
+// config: Config.ShedUtilization when set, the package default
+// otherwise.
+func (c Config) ShedThreshold() float64 {
+	if c.ShedUtilization > 0 {
+		return c.ShedUtilization
+	}
+	return ShedUtilization
 }
 
 // Row is one keyed result: (key, aggregate, window start).
@@ -299,8 +358,28 @@ type Report struct {
 	// PeakWindowStateTotalBytes is the true combined high-water mark
 	// (the figure to hold against pool capacity), which can be less
 	// than their sum when the knob shifts placement between tiers.
-	PeakWindowStateBytes      [2]int64
+	PeakWindowStateBytes      [memsim.NumTiers]int64
 	PeakWindowStateTotalBytes int64
+	// Degradation-ladder figures, all zero when Config.SpillCapacity is
+	// 0. SpilledRuns/SpilledBytes count sealed runs evicted to the mmap'd
+	// spill tier and the memory-tier bytes each eviction freed;
+	// SpillLoads/SpillLoadNanos count the loads bringing spilled runs
+	// back for window close and the worker time they took;
+	// SpillLoadFallbacks counts closes that merged straight over the
+	// mmap'd view because the pool could not host the load.
+	SpilledRuns        int64
+	SpilledBytes       int64
+	SpillLoads         int64
+	SpillLoadNanos     int64
+	SpillLoadFallbacks int64
+	// CtrlDecisions counts the adaptive placement controller's knob
+	// adjustments; CtrlEvictTicks the monitor ticks on which it ran the
+	// evictor.
+	CtrlDecisions  int64
+	CtrlEvictTicks int64
+	// CloseP99Nanos is the 99th-percentile window close latency
+	// (close request to retirement), 0 when no window closed.
+	CloseP99Nanos int64
 }
 
 // exec carries one run's state.
@@ -313,7 +392,7 @@ type exec struct {
 	knob  *engine.Knob
 	// scratch draws transient kernel buffers (radix scatter, merge
 	// ping-pong) from the pool's slab free lists, per tier.
-	scratch [2]*algo.Scratch
+	scratch [memsim.NumTiers]*algo.Scratch
 
 	targetWM  atomic.Uint64
 	dramBytes atomic.Int64 // traffic since last monitor tick
@@ -330,10 +409,28 @@ type exec struct {
 	extractNanos  atomic.Int64
 	paneRuns      atomic.Int64
 	sharedRunRefs atomic.Int64
-	stateBytes    [2]atomic.Int64
-	peakState     [2]atomic.Int64
+	stateBytes    [memsim.NumTiers]atomic.Int64
+	peakState     [memsim.NumTiers]atomic.Int64
 	stateTotal    atomic.Int64
 	peakTotal     atomic.Int64
+
+	// Degradation ladder (Config.SpillCapacity > 0): the mmap'd spill
+	// arena, the placement controller the monitor ticks, and its
+	// counters. spillFile and ctrl are nil when the ladder is off.
+	spillFile          *spill.File
+	ctrl               *placementController
+	evictions          atomic.Int64
+	evictedBytes       atomic.Int64
+	spillLoads         atomic.Int64
+	spillLoadNanos     atomic.Int64
+	spillLoadFallbacks atomic.Int64
+	ctrlDecisions      atomic.Int64
+	ctrlEvictTicks     atomic.Int64
+
+	// cmu guards the per-window close-latency samples (request to
+	// retirement, nanoseconds) feeding the report's p99.
+	cmu        sync.Mutex
+	closeNanos []int64
 
 	// paneW is the pane width of the pane-based sliding path (0 when
 	// the plan is fixed-window or Config.DirectSliding asked for the
@@ -368,6 +465,8 @@ type winEntry struct {
 	pending        int
 	closeRequested bool
 	closing        bool
+	// closeT0 stamps the close request for the close-latency samples.
+	closeT0 time.Time
 }
 
 // paneEntry holds one pane's sorted shared runs. Every run carries one
@@ -482,9 +581,39 @@ func (e *Execution) PaneStats() (paneRuns, sharedRunRefs int64) {
 }
 
 // WindowStateBytes returns the live grouped window-state bytes (sorted
-// runs plus merge intermediates) per tier, indexed by memsim.Tier.
-func (e *Execution) WindowStateBytes() [2]int64 {
-	return [2]int64{e.x.stateBytes[0].Load(), e.x.stateBytes[1].Load()}
+// runs plus merge intermediates) per tier, indexed by memsim.Tier —
+// including state evicted to the spill tier.
+func (e *Execution) WindowStateBytes() [memsim.NumTiers]int64 {
+	return e.x.windowStateBytes()
+}
+
+func (x *exec) windowStateBytes() [memsim.NumTiers]int64 {
+	var out [memsim.NumTiers]int64
+	for t := range out {
+		out[t] = x.stateBytes[t].Load()
+	}
+	return out
+}
+
+// SpillStats returns the degradation-ladder counters so far: runs and
+// bytes evicted to the spill tier, loads back at close, and the
+// adaptive controller's knob decisions. All zero when spilling is
+// disabled.
+func (e *Execution) SpillStats() (spilledRuns, spilledBytes, loads, ctrlDecisions int64) {
+	return e.x.evictions.Load(), e.x.evictedBytes.Load(),
+		e.x.spillLoads.Load(), e.x.ctrlDecisions.Load()
+}
+
+// SpillEnabled reports whether the run has the mmap'd spill tier
+// attached.
+func (e *Execution) SpillEnabled() bool { return e.x.spillFile != nil }
+
+// SpillUsed returns the spill-file bytes currently in use.
+func (e *Execution) SpillUsed() int64 {
+	if e.x.spillFile == nil {
+		return 0
+	}
+	return e.x.spillFile.Used()
 }
 
 // Start launches the plan on the worker pool and returns immediately;
@@ -535,6 +664,25 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 	}
 	x.scratch[memsim.HBM] = x.pool.ScratchFor(memsim.HBM)
 	x.scratch[memsim.DRAM] = x.pool.ScratchFor(memsim.DRAM)
+	// Spill-resident runs (the ladder's last rung) sort and merge with
+	// DRAM scratch: transient kernel buffers never live in the arena.
+	x.scratch[memsim.Spill] = x.scratch[memsim.DRAM]
+
+	if cfg.PinnedKnob != nil {
+		x.knob.Set(cfg.PinnedKnob[0], cfg.PinnedKnob[1])
+	}
+	if cfg.SpillCapacity > 0 {
+		f, err := spill.Create(cfg.SpillDir, cfg.SpillCapacity)
+		if err != nil {
+			x.sched.Close()
+			return nil, fmt.Errorf("runtime: creating spill tier: %w", err)
+		}
+		x.spillFile = f
+		x.pool.AttachSpill(f)
+		if cfg.PinnedKnob == nil {
+			x.ctrl = newPlacementController(cfg.EvictHighWater, cfg.EvictLowWater)
+		}
+	}
 
 	stopMonitor := x.startMonitor(machine)
 	e := &Execution{x: x, done: make(chan struct{})}
@@ -555,6 +703,9 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 		elapsed := time.Since(start)
 		stopMonitor()
 		x.sched.Close()
+		if x.spillFile != nil {
+			x.spillFile.Close()
+		}
 		var ms1 goruntime.MemStats
 		goruntime.ReadMemStats(&ms1)
 
@@ -575,10 +726,18 @@ func Start(plan Plan, cfg Config) (*Execution, error) {
 			SharedRunRefs:   x.sharedRunRefs.Load(),
 			ExtractedPairs:  x.extractPairs.Load(),
 			ExtractNanos:    x.extractNanos.Load(),
-			PeakWindowStateBytes: [2]int64{
-				x.peakState[0].Load(), x.peakState[1].Load(),
+			PeakWindowStateBytes: [memsim.NumTiers]int64{
+				x.peakState[0].Load(), x.peakState[1].Load(), x.peakState[2].Load(),
 			},
 			PeakWindowStateTotalBytes: x.peakTotal.Load(),
+			SpilledRuns:               x.evictions.Load(),
+			SpilledBytes:              x.evictedBytes.Load(),
+			SpillLoads:                x.spillLoads.Load(),
+			SpillLoadNanos:            x.spillLoadNanos.Load(),
+			SpillLoadFallbacks:        x.spillLoadFallbacks.Load(),
+			CtrlDecisions:             x.ctrlDecisions.Load(),
+			CtrlEvictTicks:            x.ctrlEvictTicks.Load(),
+			CloseP99Nanos:             x.closeP99(),
 		}
 		if ingested > 0 {
 			rep.AllocsPerRecord = float64(ms1.Mallocs-ms0.Mallocs) / float64(ingested)
@@ -633,12 +792,24 @@ func (x *exec) ingest() {
 		x.stallIngest()
 		b, tsHi, err := x.buildBundle(schema, n, nextTs, tsPerRecord)
 		if err != nil {
-			if _, exhausted := err.(*mempool.ErrExhausted); exhausted {
-				// Memory can only come back from window closure, and
-				// watermarks only advance here — force one so every
-				// window behind the stream drains, then retry. If the
-				// pool stays exhausted (pipeline state exceeds DRAM),
-				// fail the run instead of hanging.
+			if ee, exhausted := err.(*mempool.ErrExhausted); exhausted {
+				// With the spill tier attached, first walk sealed state
+				// out to the mmap'd file synchronously — that frees
+				// memory now, without disturbing event time, and lets
+				// window state overshoot the memory budget instead of
+				// draining it early. Otherwise memory can only come
+				// back from window closure, and watermarks only advance
+				// here — force one so every window behind the stream
+				// drains, then retry. If the pool stays exhausted
+				// (pipeline state exceeds DRAM), fail the run instead
+				// of hanging.
+				// Evict down to the low-water mark, not just ee.Want:
+				// restoring real headroom keeps the ingest loop from
+				// re-entering this path once per allocation.
+				if x.spillFile != nil && x.evictColdest(max(ee.Want, x.evictTarget())) >= ee.Want {
+					exhaustedSince = time.Time{}
+					continue
+				}
 				x.watermark(nextTs)
 				if exhaustedSince.IsZero() {
 					exhaustedSince = time.Now()
@@ -731,11 +902,17 @@ func (x *exec) ingestFeed() {
 				break
 			}
 			if _, exhausted := err.(*mempool.ErrExhausted); exhausted {
-				// Same recovery as the generator path: force a watermark
-				// so closable windows drain and their memory returns —
-				// clamped below this still-unregistered batch's earliest
-				// timestamp so no window it contributes to closes early
-				// (the feed's cursor already covers the batch).
+				// Same recovery as the generator path: evict sealed
+				// state to the spill tier first; failing that, force a
+				// watermark so closable windows drain and their memory
+				// returns — clamped below this still-unregistered
+				// batch's earliest timestamp so no window it
+				// contributes to closes early (the feed's cursor
+				// already covers the batch).
+				if ee := err.(*mempool.ErrExhausted); x.spillFile != nil && x.evictColdest(max(ee.Want, x.evictTarget())) >= ee.Want {
+					exhaustedSince = time.Time{}
+					continue
+				}
 				w := feed.Watermark()
 				if w > minTs {
 					w = minTs
@@ -1221,6 +1398,7 @@ func (x *exec) watermark(w wm.Time) {
 			continue
 		}
 		e.closeRequested = true
+		e.closeT0 = time.Now()
 		if e.pending == 0 && !e.closing {
 			e.closing = true
 			toClose = append(toClose, start)
@@ -1264,6 +1442,24 @@ func (x *exec) submitClose(start wm.Time) {
 		e.runs = nil
 	}
 	x.wmu.Unlock()
+	if x.spillFile != nil && len(runs) > 0 {
+		// With the spill tier enabled some runs may live in the mmap'd
+		// arena. Load them back on a worker task (off the watermark
+		// caller's goroutine) before the merge; EnsureResident is called
+		// on every run — a no-op for resident ones — because its lock is
+		// also the publication point for a load done by a concurrent
+		// close sharing these pane runs.
+		tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), start)
+		x.sched.Submit(&Task{
+			Name: "load:" + x.plan.Label,
+			Tag:  tag,
+			Run: func() {
+				x.loadRuns(runs, tag)
+				x.closeWindow(start, runs)
+			},
+		})
+		return
+	}
 	x.closeWindow(start, runs)
 }
 
@@ -1278,6 +1474,14 @@ func (x *exec) submitClose(start wm.Time) {
 // that sequence is also identical between the pane and direct paths.
 func (x *exec) closeWindow(start wm.Time, runs []*kpa.KPA) {
 	sort.Slice(runs, func(i, j int) bool { return runs[i].Meta().Less(runs[j].Meta()) })
+	if len(runs) > 0 && (x.cfg.PairwiseClose || len(runs) > mergeFanIn) {
+		// The materializing merges (Merge, MergeK) copy pairs verbatim
+		// and so refuse mixed pointer/value-resident inputs; a close that
+		// fell back to merging over a spilled run's mmap view may hold a
+		// mix. The fused merge-reduce resolves per run and needs no
+		// conversion.
+		runs = x.homogenizeRuns(start, runs)
+	}
 	switch {
 	case len(runs) == 0:
 		x.finishWindow(start)
@@ -1532,6 +1736,10 @@ func (x *exec) emitRows(start wm.Time, rows []Row) {
 // merge tasks).
 func (x *exec) finishWindow(start wm.Time) {
 	x.wmu.Lock()
+	var closeD time.Duration
+	if e := x.windows[start]; e != nil && !e.closeT0.IsZero() {
+		closeD = time.Since(e.closeT0)
+	}
 	if x.paneW > 0 {
 		for p := start; p < start+x.plan.Win.Size; p += x.paneW {
 			if pe := x.panes[p]; pe != nil {
@@ -1546,6 +1754,7 @@ func (x *exec) finishWindow(start wm.Time) {
 	x.closed++
 	x.finishing[start] = struct{}{}
 	x.wmu.Unlock()
+	x.recordCloseLatency(closeD)
 	if x.cfg.WindowSink != nil && !x.sealedWindow(start) {
 		x.rmu.Lock()
 		rows := x.sinkRows[start]
@@ -1574,6 +1783,9 @@ func (x *exec) allocator(tag engine.Tag) kpa.Allocator {
 type knobAllocator struct {
 	x   *exec
 	tag engine.Tag
+	// noSpill excludes the spill-arena rung — set for spill loads,
+	// which would otherwise "load" a run from the arena to the arena.
+	noSpill bool
 }
 
 // AllocKPA implements kpa.Allocator.
@@ -1581,10 +1793,18 @@ func (a *knobAllocator) AllocKPA(nBytes int64) (memsim.Tier, *mempool.Allocation
 	x := a.x
 	if a.tag == engine.Urgent {
 		al, err := x.pool.AllocUrgent(nBytes)
-		if err != nil {
-			return 0, nil, err
+		if err == nil {
+			return al.Tier(), al, nil
 		}
-		return al.Tier(), al, nil
+		// Urgent close-path allocations ride the ladder too: with the
+		// reserved pool and both memory tiers full, a merge output in
+		// the arena beats failing the close.
+		if x.spillFile != nil && !a.noSpill {
+			if sal, serr := x.pool.Alloc(memsim.Spill, nBytes); serr == nil {
+				return memsim.Spill, sal, nil
+			}
+		}
+		return 0, nil, err
 	}
 	if x.knob.WantHBM(a.tag) {
 		if al, err := x.pool.Alloc(memsim.HBM, nBytes); err == nil {
@@ -1593,7 +1813,19 @@ func (a *knobAllocator) AllocKPA(nBytes int64) (memsim.Tier, *mempool.Allocation
 		// HBM full: spill.
 	}
 	al, err := x.pool.Alloc(memsim.DRAM, nBytes)
-	return memsim.DRAM, al, err
+	if err == nil {
+		return memsim.DRAM, al, nil
+	}
+	if x.spillFile != nil && !a.noSpill {
+		// Last rung of the degradation ladder: both memory tiers are
+		// full, so close-time materializations (fan-in compaction,
+		// pairwise merges, shared-run clones) land in the mmap'd arena
+		// instead of failing the run.
+		if sal, serr := x.pool.Alloc(memsim.Spill, nBytes); serr == nil {
+			return memsim.Spill, sal, nil
+		}
+	}
+	return memsim.DRAM, nil, err
 }
 
 // noteKPA counts a placement for the report and charges the run's
@@ -1658,10 +1890,35 @@ func (x *exec) startMonitor(machine memsim.Config) func() {
 			case <-ticker.C:
 				traffic := x.dramBytes.Swap(0)
 				dramBW := float64(traffic) / x.cfg.MonitorInterval.Seconds() / dramBWCap
-				// Headroom proxy: the pool keeps up with the offered
-				// backlog, so k_high may still shift placements to DRAM.
-				headroom := x.sched.Queued() < x.sched.Workers()
-				x.knob.Update(x.pool.Utilization(memsim.HBM), dramBW, headroom)
+				switch {
+				case x.ctrl != nil:
+					// Degradation ladder: the adaptive placement
+					// controller drives the knob and decides when to
+					// walk cold sealed state out to the spill tier.
+					act := x.ctrl.step(ctrlSignals{
+						HBMUtil:     x.pool.Utilization(memsim.HBM),
+						DRAMUtil:    x.pool.Utilization(memsim.DRAM),
+						DRAMBW:      dramBW,
+						QueueDepths: x.sched.QueuedByPriority(),
+						Workers:     x.sched.Workers(),
+						StateBytes:  x.windowStateBytes(),
+					})
+					if act.changed {
+						x.ctrlDecisions.Add(1)
+					}
+					x.knob.Set(act.KLow, act.KHigh)
+					if act.Evict {
+						x.ctrlEvictTicks.Add(1)
+						x.evictColdest(x.evictTarget())
+					}
+				case x.cfg.PinnedKnob != nil:
+					// Fixed-knob ablation: the knob stays pinned.
+				default:
+					// Headroom proxy: the pool keeps up with the offered
+					// backlog, so k_high may still shift placements to DRAM.
+					headroom := x.sched.Queued() < x.sched.Workers()
+					x.knob.Update(x.pool.Utilization(memsim.HBM), dramBW, headroom)
+				}
 			}
 		}
 	}()

@@ -1,0 +1,166 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// tinyMachine returns a machine whose memory tiers are small enough
+// that the test workloads' window state cannot fit — the shape that
+// trips ErrExhausted without a spill tier attached.
+func tinyMachine(hbm, dram int64) memsim.Config {
+	m := memsim.KNLConfig()
+	m.Tiers[memsim.HBM].Capacity = hbm
+	m.Tiers[memsim.DRAM].Capacity = dram
+	return m
+}
+
+// TestSpillMatchesNeverSpill is the degradation ladder's equivalence
+// property: the same plan — overlapping panes, skewed keys, an
+// order-sensitive aggregator — run on a machine so small that sealed
+// runs must be evicted to the spill tier and loaded back (or merged in
+// place from the mmap), and run unconstrained with no spill tier, must
+// produce bit-identical windows: same window starts, same keys, same
+// fold hashes. Run under -race in CI.
+func TestSpillMatchesNeverSpill(t *testing.T) {
+	for _, win := range []wm.Windowing{
+		wm.Fixed(1_000_000),
+		wm.Sliding(1_000_000, 250_000), // overlap 4: shared pane runs spill
+	} {
+		plan := paneTestPlan(win, 7)
+		// Stall the watermark so sealed state piles up ~4 windows deep
+		// against a budget sized for less than one.
+		plan.Source.WatermarkEvery = 16
+		baseline, err := Run(paneTestPlan(win, 7), Config{Workers: 4, Capture: true})
+		if err != nil {
+			t.Fatalf("size=%d slide=%d baseline: %v", win.Size, win.Slide, err)
+		}
+		spilled, err := Run(plan, Config{
+			Workers:         4,
+			Capture:         true,
+			Machine:         tinyMachine(64<<10, 128<<10),
+			ReservedHBM:     32 << 10,
+			SpillCapacity:   32 << 20,
+			MonitorInterval: time.Millisecond,
+			ExhaustTimeout:  2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("size=%d slide=%d spilled: %v", win.Size, win.Slide, err)
+		}
+		if spilled.SpilledRuns == 0 {
+			t.Fatalf("size=%d slide=%d: constrained run evicted nothing — the property was not exercised", win.Size, win.Slide)
+		}
+		if spilled.SpillLoads == 0 && spilled.SpillLoadFallbacks == 0 {
+			t.Fatalf("size=%d slide=%d: no spilled run was read back at close", win.Size, win.Slide)
+		}
+		if spilled.IngestedRecords != baseline.IngestedRecords {
+			t.Fatalf("size=%d slide=%d: ingested %d vs %d", win.Size, win.Slide,
+				spilled.IngestedRecords, baseline.IngestedRecords)
+		}
+		b, s := rowsByWindowKey(baseline.Rows), rowsByWindowKey(spilled.Rows)
+		if len(b) == 0 || len(b) != len(s) {
+			t.Fatalf("size=%d slide=%d: baseline closed %d windows, spilled %d",
+				win.Size, win.Slide, len(b), len(s))
+		}
+		for w, bk := range b {
+			sk, ok := s[w]
+			if !ok || len(bk) != len(sk) {
+				t.Fatalf("size=%d slide=%d window %d: baseline %d keys, spilled %d (present=%v)",
+					win.Size, win.Slide, w, len(bk), len(sk), ok)
+			}
+			for k, v := range bk {
+				if sk[k] != v {
+					t.Fatalf("size=%d slide=%d window %d key %d: baseline fold %x, spilled fold %x — evict/load reordered pairs",
+						win.Size, win.Slide, w, k, v, sk[k])
+				}
+			}
+		}
+	}
+}
+
+// TestControllerConvergence steps the placement controller against
+// synthetic step loads and checks it walks the knob the right way,
+// settles inside the deadband, and latches eviction with hysteresis.
+func TestControllerConvergence(t *testing.T) {
+	c := newPlacementController(0, 0)
+	sig := func(hbm, dram, bw float64) ctrlSignals {
+		return ctrlSignals{HBMUtil: hbm, DRAMUtil: dram, DRAMBW: bw, Workers: 4}
+	}
+
+	// Step 1: HBM far above the setpoint. kLow must descend toward 0.
+	var act ctrlAction
+	for i := 0; i < 50; i++ {
+		act = c.step(sig(0.95, 0.3, 0.2))
+	}
+	if act.KLow > 0.05 {
+		t.Fatalf("overloaded HBM: kLow = %.2f, want ~0", act.KLow)
+	}
+	if act.KHigh == 1 && c.kLow > 0 {
+		t.Fatalf("kHigh moved before kLow bottomed out")
+	}
+
+	// Step 2: load releases. Both knobs must recover to 1 (kHigh first
+	// needs queue headroom, which the zero QueueDepths provide).
+	for i := 0; i < 100; i++ {
+		act = c.step(sig(0.30, 0.3, 0.2))
+	}
+	if act.KLow < 0.95 || act.KHigh < 0.95 {
+		t.Fatalf("recovered HBM: knob = {%.2f, %.2f}, want ~{1, 1}", act.KLow, act.KHigh)
+	}
+
+	// Step 3: inside the deadband nothing changes.
+	before := [2]float64{c.kLow, c.kHigh}
+	act = c.step(sig(ctrlSetpoint, 0.3, 0.2))
+	if c.kLow != before[0] || c.kHigh != before[1] {
+		t.Fatalf("deadband: knob moved {%.2f, %.2f} -> {%.2f, %.2f}",
+			before[0], before[1], c.kLow, c.kHigh)
+	}
+
+	// Step 4: eviction latches above the high water mark and holds
+	// until utilization falls below the low water mark.
+	if act = c.step(sig(0.5, 0.90, 0.2)); !act.Evict {
+		t.Fatal("worst util 0.90 must start eviction")
+	}
+	if act = c.step(sig(0.5, 0.75, 0.2)); !act.Evict {
+		t.Fatal("eviction must hold at 0.75 (hysteresis: above low water)")
+	}
+	if act = c.step(sig(0.5, 0.65, 0.2)); act.Evict {
+		t.Fatal("eviction must release below the low water mark")
+	}
+	if act = c.step(sig(0.5, 0.80, 0.2)); act.Evict {
+		t.Fatal("eviction must not restart below the high water mark")
+	}
+}
+
+// TestSpillRunLeavesNoGoroutines pins the controller/monitor teardown:
+// a spill-enabled run (controller active, evictions taken) must leave
+// no goroutines behind once Run returns.
+func TestSpillRunLeavesNoGoroutines(t *testing.T) {
+	before := goruntime.NumGoroutine()
+	plan := paneTestPlan(wm.Sliding(1_000_000, 250_000), 3)
+	plan.Source.WatermarkEvery = 16
+	if _, err := Run(plan, Config{
+		Workers:         2,
+		Machine:         tinyMachine(64<<10, 128<<10),
+		ReservedHBM:     32 << 10,
+		SpillCapacity:   32 << 20,
+		MonitorInterval: time.Millisecond,
+		ExhaustTimeout:  2 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := goruntime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before run, %d after", before, goruntime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,249 @@
+package runtime
+
+// spillpath.go is the degradation ladder's muscle: the eviction sweep
+// that walks the coldest sealed runs out to the mmap'd spill tier, the
+// close-path load that brings them back (or falls back to merging
+// straight over the mmap view when the pool cannot host the load), and
+// the gauge plumbing that keeps the per-tier window-state accounting
+// truthful as runs move. Decision logic lives in controller.go.
+//
+// Concurrency protocol: every eviction happens under x.wmu and only
+// touches runs of quiescent windows — no close requested, none in
+// flight — so no merge task can be reading the pairs it relocates.
+// Loads happen on the close path, after the closing window's runs were
+// collected under x.wmu, which orders them after any prior eviction of
+// those runs; two closes sharing a spilled pane run both call
+// EnsureResident, whose per-KPA lock makes the load happen exactly
+// once and publishes the loaded pairs to the second caller.
+
+import (
+	"sort"
+	"time"
+
+	"streambox/internal/engine"
+	"streambox/internal/kpa"
+	"streambox/internal/memsim"
+	"streambox/internal/wm"
+)
+
+// maxEvictRunsPerSweep bounds how many runs one sweep relocates while
+// holding the window lock; the controller simply resumes on its next
+// tick if pressure persists.
+const maxEvictRunsPerSweep = 128
+
+// evictTarget returns the bytes to free to bring every memory tier
+// back under the eviction low-water mark.
+func (x *exec) evictTarget() int64 {
+	low := defaultEvictLowWater
+	if x.ctrl != nil {
+		low = x.ctrl.lowWater
+	}
+	var target int64
+	for t := memsim.Tier(0); t < memsim.Tier(memsim.MemTiers); t++ {
+		capT := x.pool.Capacity(t)
+		if capT <= 0 {
+			continue
+		}
+		if used := x.pool.Used(t); used > int64(low*float64(capT)) {
+			target += used - int64(low*float64(capT))
+		}
+	}
+	return target
+}
+
+// evictColdest relocates sealed runs of quiescent windows to the spill
+// tier, coldest (oldest window/pane start) first, until target bytes
+// have left the memory tiers, the per-sweep cap is reached, or the
+// spill file fills. It returns the bytes actually freed. Safe to call
+// from the monitor goroutine and from the ingest loop's exhaustion
+// path; x.wmu serializes sweeps against each other and against close
+// collection.
+func (x *exec) evictColdest(target int64) int64 {
+	if x.spillFile == nil || target <= 0 {
+		return 0
+	}
+	var freed, evicted int64
+	evictRun := func(r *kpa.KPA) bool {
+		if r.Len() == 0 || r.Spilled() || r.Tier() == memsim.Spill {
+			// Already out of the memory tiers — either evicted, or
+			// allocated straight into the arena by the ladder's last
+			// allocation rung.
+			return true
+		}
+		from := r.Tier()
+		n, err := r.Evict(x.pool, x.plan.ValCol)
+		if err != nil {
+			// Spill file full (or an unsealed run slipped in): stop the
+			// sweep; backpressure and the exhaustion path take over.
+			return false
+		}
+		if n > 0 {
+			x.moveStateBytes(from, memsim.Spill, n)
+			x.evictions.Add(1)
+			x.evictedBytes.Add(n)
+			freed += n
+			evicted++
+		}
+		return freed < target && evicted < maxEvictRunsPerSweep
+	}
+
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	if x.paneW > 0 {
+		starts := make([]wm.Time, 0, len(x.panes))
+		for p := range x.panes {
+			starts = append(starts, p)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		for _, p := range starts {
+			if !x.paneQuiescentLocked(p) {
+				continue
+			}
+			for _, r := range x.panes[p].runs {
+				if !evictRun(r) {
+					return freed
+				}
+			}
+		}
+		return freed
+	}
+	starts := make([]wm.Time, 0, len(x.windows))
+	for s, e := range x.windows {
+		if e.closeRequested || e.closing {
+			continue
+		}
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, s := range starts {
+		for _, r := range x.windows[s].runs {
+			if !evictRun(r) {
+				return freed
+			}
+		}
+	}
+	return freed
+}
+
+// paneQuiescentLocked reports whether no window covering pane p has a
+// close requested or in flight — i.e. none of p's runs can be under a
+// concurrent merge read. Covering windows absent from x.windows are
+// either future (no runs collected yet) or fully retired; both are
+// safe. Caller holds x.wmu.
+func (x *exec) paneQuiescentLocked(p wm.Time) bool {
+	for s, e := range x.windows {
+		if s <= p && p < s+x.plan.Win.Size && (e.closeRequested || e.closing) {
+			return false
+		}
+	}
+	return true
+}
+
+// loadRuns brings a closing window's spilled runs back into a memory
+// tier before the merge. Every run passes through EnsureResident even
+// when resident — its per-KPA lock is the publication point for loads
+// done by a concurrent close sharing the same pane runs. A load the
+// pool cannot host is not an error: the run stays value-resident in
+// the mmap'd arena and the fused merge reads it there, bit-identical,
+// just slower.
+func (x *exec) loadRuns(runs []*kpa.KPA, tag engine.Tag) {
+	al := &knobAllocator{x: x, tag: tag, noSpill: true}
+	for _, r := range runs {
+		t0 := time.Now()
+		loaded, err := r.EnsureResident(al)
+		switch {
+		case loaded:
+			x.spillLoads.Add(1)
+			x.spillLoadNanos.Add(time.Since(t0).Nanoseconds())
+			x.moveStateBytes(memsim.Spill, r.Tier(), r.Bytes())
+		case err != nil:
+			x.spillLoadFallbacks.Add(1)
+		}
+	}
+}
+
+// homogenizeRuns converts a close's runs to one pointer/value mode so
+// the materializing merges (Merge, MergeK) can copy pairs verbatim.
+// Only mixed sets convert, and only the pointer runs: a run this close
+// owns outright materializes its values in place; a pane run shared
+// with other still-open windows is cloned (the clone joins the close,
+// the original keeps its pointers and sources for the other windows,
+// and this close's reference moves to the clone).
+func (x *exec) homogenizeRuns(start wm.Time, runs []*kpa.KPA) []*kpa.KPA {
+	var vals, ptrs bool
+	for _, r := range runs {
+		if r.ValuesResident() {
+			vals = true
+		} else {
+			ptrs = true
+		}
+	}
+	if !vals || !ptrs {
+		return runs
+	}
+	tag := engine.TagFor(x.plan.Win, wm.Time(x.targetWM.Load()), start)
+	al := x.allocator(tag)
+	for i, r := range runs {
+		if r.ValuesResident() {
+			continue
+		}
+		if r.Refs() == 1 {
+			if err := r.MaterializeValues(x.plan.ValCol); err != nil {
+				x.recordError(err)
+			}
+			continue
+		}
+		c, err := r.CloneValues(x.plan.ValCol, al)
+		if err != nil {
+			x.recordError(err)
+			continue
+		}
+		x.noteKPA(c)
+		x.destroyRun(r)
+		runs[i] = c
+	}
+	return runs
+}
+
+// moveStateBytes shifts n live window-state bytes between tier gauges
+// as a run relocates, maintaining the destination's high-water mark.
+// The combined total is unchanged.
+func (x *exec) moveStateBytes(from, to memsim.Tier, n int64) {
+	if n <= 0 || from == to {
+		return
+	}
+	x.stateBytes[from].Add(-n)
+	cur := x.stateBytes[to].Add(n)
+	for {
+		peak := x.peakState[to].Load()
+		if cur <= peak || x.peakState[to].CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+}
+
+// recordCloseLatency appends one close-request-to-retirement sample.
+func (x *exec) recordCloseLatency(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	x.cmu.Lock()
+	x.closeNanos = append(x.closeNanos, d.Nanoseconds())
+	x.cmu.Unlock()
+}
+
+// closeP99 returns the 99th-percentile close latency in nanoseconds.
+func (x *exec) closeP99() int64 {
+	x.cmu.Lock()
+	defer x.cmu.Unlock()
+	if len(x.closeNanos) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), x.closeNanos...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := len(s) * 99 / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

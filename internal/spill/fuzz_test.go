@@ -1,0 +1,96 @@
+package spill
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"streambox/internal/algo"
+)
+
+func sampleRecords() [][]byte {
+	sorted := &Record{
+		Sorted:   true,
+		Resident: 0,
+		Meta:     algo.RunMeta{Origin: 7, Lo: 4000},
+		Pairs: []algo.Pair{
+			{Key: 1, Ptr: 10}, {Key: 1, Ptr: 11}, {Key: 5, Ptr: 50}, {Key: 9, Ptr: 90},
+		},
+	}
+	synthetic := &Record{
+		Sorted:   false,
+		Resident: -1,
+		Meta:     algo.RunMeta{Origin: 1, Lo: 0},
+		Pairs:    []algo.Pair{{Key: 3, Ptr: 30}, {Key: 2, Ptr: 20}},
+	}
+	empty := &Record{Sorted: true, Resident: 1}
+	valid := EncodeRecord(sorted)
+	synth := EncodeRecord(synthetic)
+	emptyRec := EncodeRecord(empty)
+
+	truncated := valid[:len(valid)-5]
+	corrupt := bytes.Clone(valid)
+	corrupt[HeaderSize+3] ^= 0x40 // payload bit flip: crc must catch it
+	badMagic := bytes.Clone(valid)
+	badMagic[0] = 'x'
+	badVersion := bytes.Clone(valid)
+	badVersion[4] = 9
+	reservedFlags := bytes.Clone(valid)
+	reservedFlags[5] |= 0x80
+	badResident := bytes.Clone(valid)
+	binary.LittleEndian.PutUint16(badResident[6:8], uint16(0xfffe)) // -2
+	hugeLen := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(hugeLen[8:12], 0xfffffff0)
+	// Sorted flag set over an unsorted payload, with the CRC patched so
+	// only the canonical-form check can reject it.
+	liarSorted := bytes.Clone(synth)
+	liarSorted[5] |= flagSorted
+	binary.LittleEndian.PutUint32(liarSorted[28:32], 0) // placeholder, fixed below
+	{
+		var rec Record
+		rec.Sorted = true
+		rec.Resident = -1
+		rec.Meta = algo.RunMeta{Origin: 1, Lo: 0}
+		rec.Pairs = []algo.Pair{{Key: 3, Ptr: 30}, {Key: 2, Ptr: 20}}
+		liarSorted = EncodeRecord(&rec)
+	}
+
+	return [][]byte{
+		valid, synth, emptyRec, truncated, corrupt, badMagic, badVersion,
+		reservedFlags, badResident, hugeLen, liarSorted,
+		{}, {0, 0, 0, 0}, bytes.Repeat([]byte{0xff}, 64),
+	}
+}
+
+// FuzzSpillRecord drives the spill record decoder with arbitrary
+// bytes: it must never panic, never report consuming more bytes than
+// it was given, and any record it accepts must re-encode to the exact
+// bytes it consumed (canonical form only).
+func FuzzSpillRecord(f *testing.F) {
+	for _, s := range sampleRecords() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rec Record
+		n, err := DecodeRecord(data, &rec)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v but consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if n != RecordBytes(len(rec.Pairs)) {
+			t.Fatalf("consumed %d bytes for %d pairs, want %d", n, len(rec.Pairs), RecordBytes(len(rec.Pairs)))
+		}
+		if rec.Sorted && !algo.PairsSorted(rec.Pairs) {
+			t.Fatalf("accepted sorted flag over unsorted payload")
+		}
+		round := EncodeRecord(&rec)
+		if !bytes.Equal(round, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", round, data[:n])
+		}
+	})
+}

@@ -1,0 +1,201 @@
+// Spill-file record format. One record holds one evicted KPA run:
+// a fixed 32-byte header followed by the pair payload.
+//
+//	offset  size  field
+//	0       4     magic "SBXP"
+//	4       1     version (1)
+//	5       1     flags (bit0 = sorted; bits 1-7 reserved, must be 0)
+//	6       2     resident column, int16 little-endian (-1 = synthetic)
+//	8       4     nPairs, uint32 little-endian
+//	12      8     meta.Origin, uint64 little-endian
+//	20      8     meta.Lo, uint64 little-endian
+//	28      4     CRC-32C (Castagnoli) of the payload
+//	32      16·n  pairs: (key uint64, ptr uint64) little-endian each
+//
+// Canonical form only: DecodeRecord rejects unknown versions, set
+// reserved flag bits, resident below -1, CRC mismatches and a sorted
+// flag over an unsorted payload, so every accepted encoding
+// re-encodes to the identical bytes (decode ∘ encode = id). Spilled
+// runs are always value-resident — Ptr carries the aggregation value
+// itself, never a bundle pointer — so a record is self-contained.
+package spill
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"unsafe"
+
+	"streambox/internal/algo"
+)
+
+const (
+	// HeaderSize is the fixed record header length in bytes.
+	HeaderSize = 32
+	// PairSize is the wire size of one pair.
+	PairSize = 16
+
+	recordVersion = 1
+	flagSorted    = 0x01
+)
+
+var recordMagic = [4]byte{'S', 'B', 'X', 'P'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a non-canonical or damaged record.
+var ErrCorrupt = errors.New("spill: corrupt record")
+
+// Record is one spilled run.
+type Record struct {
+	Sorted   bool
+	Resident int // resident column index; -1 for synthetic keys
+	Meta     algo.RunMeta
+	Pairs    []algo.Pair
+}
+
+// RecordBytes returns the encoded size of a record with n pairs.
+func RecordBytes(n int) int { return HeaderSize + n*PairSize }
+
+// pairBytes reinterprets pairs as their in-memory bytes. algo.Pair is
+// two uint64s, so on a little-endian host this is exactly the wire
+// layout. The view is over the pair slice (always 8-aligned), so the
+// conversion is alignment-safe regardless of the byte side.
+func pairBytes(pairs []algo.Pair) []byte {
+	if len(pairs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&pairs[0])), len(pairs)*PairSize)
+}
+
+// EncodeInto writes rec into dst, which must hold at least
+// RecordBytes(len(rec.Pairs)) bytes, and returns the bytes written.
+// Panics on a resident column outside int16 (programmer error, not
+// data corruption).
+func EncodeInto(dst []byte, rec *Record) int {
+	if rec.Resident < -1 || rec.Resident > math.MaxInt16 {
+		panic(fmt.Sprintf("spill: resident column %d out of range", rec.Resident))
+	}
+	n := RecordBytes(len(rec.Pairs))
+	if len(dst) < n {
+		panic(fmt.Sprintf("spill: EncodeInto: need %d bytes, have %d", n, len(dst)))
+	}
+	copy(dst[0:4], recordMagic[:])
+	dst[4] = recordVersion
+	var flags byte
+	if rec.Sorted {
+		flags |= flagSorted
+	}
+	dst[5] = flags
+	binary.LittleEndian.PutUint16(dst[6:8], uint16(int16(rec.Resident)))
+	binary.LittleEndian.PutUint32(dst[8:12], uint32(len(rec.Pairs)))
+	binary.LittleEndian.PutUint64(dst[12:20], rec.Meta.Origin)
+	binary.LittleEndian.PutUint64(dst[20:28], rec.Meta.Lo)
+	payload := dst[HeaderSize:n]
+	copy(payload, pairBytes(rec.Pairs))
+	binary.LittleEndian.PutUint32(dst[28:32], crc32.Checksum(payload, castagnoli))
+	return n
+}
+
+// PayloadView returns the n-pair payload area of a record extent as a
+// zero-copy view, valid even before the record is encoded: a writer
+// can fill the payload in place and then EncodeInto with rec.Pairs set
+// to this view (the payload copy degenerates to a self-move), avoiding
+// a staging buffer. b must be 8-aligned (any File extent is).
+func PayloadView(b []byte, n int) []algo.Pair {
+	if n == 0 {
+		return nil
+	}
+	payload := b[HeaderSize : HeaderSize+n*PairSize]
+	return unsafe.Slice((*algo.Pair)(unsafe.Pointer(&payload[0])), n)
+}
+
+// EncodeRecord returns the canonical encoding of rec.
+func EncodeRecord(rec *Record) []byte {
+	dst := make([]byte, RecordBytes(len(rec.Pairs)))
+	EncodeInto(dst, rec)
+	return dst
+}
+
+// decodeHeader validates the fixed header and returns the pair count
+// and total record length.
+func decodeHeader(b []byte, rec *Record) (nPairs, total int, err error) {
+	if len(b) < HeaderSize {
+		return 0, 0, fmt.Errorf("%w: %d bytes, header is %d", ErrCorrupt, len(b), HeaderSize)
+	}
+	if [4]byte(b[0:4]) != recordMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[0:4])
+	}
+	if b[4] != recordVersion {
+		return 0, 0, fmt.Errorf("%w: version %d", ErrCorrupt, b[4])
+	}
+	if b[5]&^flagSorted != 0 {
+		return 0, 0, fmt.Errorf("%w: reserved flag bits %#x", ErrCorrupt, b[5])
+	}
+	resident := int16(binary.LittleEndian.Uint16(b[6:8]))
+	if resident < -1 {
+		return 0, 0, fmt.Errorf("%w: resident column %d", ErrCorrupt, resident)
+	}
+	n64 := int64(binary.LittleEndian.Uint32(b[8:12]))
+	t64 := int64(HeaderSize) + n64*PairSize
+	if t64 > int64(len(b)) {
+		return 0, 0, fmt.Errorf("%w: %d pairs need %d bytes, have %d", ErrCorrupt, n64, t64, len(b))
+	}
+	payload := b[HeaderSize:t64]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[28:32]); got != want {
+		return 0, 0, fmt.Errorf("%w: crc %#x, want %#x", ErrCorrupt, got, want)
+	}
+	rec.Sorted = b[5]&flagSorted != 0
+	rec.Resident = int(resident)
+	rec.Meta = algo.RunMeta{
+		Origin: binary.LittleEndian.Uint64(b[12:20]),
+		Lo:     binary.LittleEndian.Uint64(b[20:28]),
+	}
+	return int(n64), int(t64), nil
+}
+
+// DecodeRecord decodes one record from the front of b into rec,
+// copying the payload (rec.Pairs reuses capacity when possible), and
+// returns the bytes consumed. On error n is 0 and rec is unspecified.
+func DecodeRecord(b []byte, rec *Record) (int, error) {
+	nPairs, total, err := decodeHeader(b, rec)
+	if err != nil {
+		return 0, err
+	}
+	if cap(rec.Pairs) >= nPairs {
+		rec.Pairs = rec.Pairs[:nPairs]
+	} else {
+		rec.Pairs = make([]algo.Pair, nPairs)
+	}
+	copy(pairBytes(rec.Pairs), b[HeaderSize:total])
+	if rec.Sorted && !algo.PairsSorted(rec.Pairs) {
+		return 0, fmt.Errorf("%w: sorted flag on unsorted payload", ErrCorrupt)
+	}
+	return total, nil
+}
+
+// View decodes one record from the front of b without copying:
+// rec.Pairs aliases b, which must therefore be 8-aligned at its
+// payload (true for any extent returned by File.Alloc) and must
+// outlive the view. Returns the bytes consumed.
+func View(b []byte, rec *Record) (int, error) {
+	nPairs, total, err := decodeHeader(b, rec)
+	if err != nil {
+		return 0, err
+	}
+	if nPairs == 0 {
+		rec.Pairs = nil
+		return total, nil
+	}
+	payload := b[HeaderSize:total]
+	if uintptr(unsafe.Pointer(&payload[0]))%8 != 0 {
+		return 0, fmt.Errorf("spill: View: payload not 8-aligned")
+	}
+	rec.Pairs = unsafe.Slice((*algo.Pair)(unsafe.Pointer(&payload[0])), nPairs)
+	if rec.Sorted && !algo.PairsSorted(rec.Pairs) {
+		return 0, fmt.Errorf("%w: sorted flag on unsorted payload", ErrCorrupt)
+	}
+	return total, nil
+}

@@ -1,0 +1,200 @@
+package spill
+
+import (
+	"errors"
+	"testing"
+
+	"streambox/internal/algo"
+)
+
+func TestArenaAllocFreeReuse(t *testing.T) {
+	f, err := Create(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Capacity() != 4096 {
+		t.Fatalf("capacity %d, want 4096", f.Capacity())
+	}
+	a, err := f.Alloc(100) // rounds to 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%extentAlign != 0 {
+		t.Fatalf("offset %d not %d-aligned", a, extentAlign)
+	}
+	b, err := f.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("distinct allocs share offset %d", a)
+	}
+	if got := f.Used(); got != 256 {
+		t.Fatalf("used %d, want 256", got)
+	}
+	f.Free(a, 100)
+	if got := f.Used(); got != 128 {
+		t.Fatalf("used after free %d, want 128", got)
+	}
+	c, err := f.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("free-list reuse: got offset %d, want %d", c, a)
+	}
+	st := f.Stats()
+	if st.Allocs != 3 || st.Frees != 1 || st.PeakUsed != 256 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestArenaFull(t *testing.T) {
+	f, err := Create(t.TempDir(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Alloc(256); err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Alloc(64)
+	var full *ErrFull
+	if !errors.As(err, &full) {
+		t.Fatalf("err = %v, want *ErrFull", err)
+	}
+	if full.Want != 64 || full.Free != 0 {
+		t.Fatalf("ErrFull %+v", full)
+	}
+}
+
+func TestArenaPairsView(t *testing.T) {
+	f, err := Create(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const n = 10
+	off, err := f.Alloc(int64(n * PairSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := f.Pairs(off, n)
+	for i := range view {
+		view[i] = algo.Pair{Key: uint64(i), Ptr: uint64(100 + i)}
+	}
+	again := f.Pairs(off, n)
+	for i, p := range again {
+		if p.Key != uint64(i) || p.Ptr != uint64(100+i) {
+			t.Fatalf("pair %d = %+v", i, p)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Sorted: true, Resident: 2, Meta: algo.RunMeta{Origin: 17, Lo: 8000},
+			Pairs: []algo.Pair{{Key: 1, Ptr: 5}, {Key: 2, Ptr: 6}, {Key: 2, Ptr: 7}}},
+		{Sorted: false, Resident: -1, Meta: algo.RunMeta{Origin: 1},
+			Pairs: []algo.Pair{{Key: 9, Ptr: 1}, {Key: 3, Ptr: 2}}},
+		{Sorted: true, Resident: 0}, // empty payload
+	}
+	for i, want := range recs {
+		enc := EncodeRecord(&want)
+		if len(enc) != RecordBytes(len(want.Pairs)) {
+			t.Fatalf("rec %d: encoded %d bytes, want %d", i, len(enc), RecordBytes(len(want.Pairs)))
+		}
+		var got Record
+		n, err := DecodeRecord(enc, &got)
+		if err != nil {
+			t.Fatalf("rec %d: decode: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("rec %d: consumed %d of %d", i, n, len(enc))
+		}
+		if got.Sorted != want.Sorted || got.Resident != want.Resident || got.Meta != want.Meta {
+			t.Fatalf("rec %d: header %+v, want %+v", i, got, want)
+		}
+		if len(got.Pairs) != len(want.Pairs) {
+			t.Fatalf("rec %d: %d pairs, want %d", i, len(got.Pairs), len(want.Pairs))
+		}
+		for j := range want.Pairs {
+			if got.Pairs[j] != want.Pairs[j] {
+				t.Fatalf("rec %d pair %d: %+v, want %+v", i, j, got.Pairs[j], want.Pairs[j])
+			}
+		}
+	}
+}
+
+func TestRecordInArenaView(t *testing.T) {
+	f, err := Create(t.TempDir(), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec := Record{
+		Sorted:   true,
+		Resident: 1,
+		Meta:     algo.RunMeta{Origin: 3, Lo: 12000},
+		Pairs:    []algo.Pair{{Key: 10, Ptr: 100}, {Key: 20, Ptr: 200}, {Key: 30, Ptr: 300}},
+	}
+	size := int64(RecordBytes(len(rec.Pairs)))
+	off, err := f.Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := EncodeInto(f.Bytes(off, size), &rec); int64(n) != size {
+		t.Fatalf("EncodeInto wrote %d, want %d", n, size)
+	}
+	var view Record
+	n, err := View(f.Bytes(off, size), &view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != size {
+		t.Fatalf("View consumed %d, want %d", n, size)
+	}
+	if view.Meta != rec.Meta || view.Resident != rec.Resident || !view.Sorted {
+		t.Fatalf("view header %+v", view)
+	}
+	for i := range rec.Pairs {
+		if view.Pairs[i] != rec.Pairs[i] {
+			t.Fatalf("view pair %d: %+v, want %+v", i, view.Pairs[i], rec.Pairs[i])
+		}
+	}
+	// The view aliases the mapping: mutating the arena shows through.
+	f.Pairs(off+HeaderSize, len(rec.Pairs))[0].Ptr = 999
+	if view.Pairs[0].Ptr != 999 {
+		t.Fatalf("view did not alias arena")
+	}
+}
+
+func TestDecodeRejectsNonCanonical(t *testing.T) {
+	// Every mutated seed from the fuzz corpus must be rejected.
+	names := []string{
+		"valid", "synth", "empty", "truncated", "corrupt", "badMagic",
+		"badVersion", "reservedFlags", "badResident", "hugeLen", "liarSorted",
+		"nil", "zeros", "ff",
+	}
+	wantErr := map[string]bool{
+		"truncated": true, "corrupt": true, "badMagic": true,
+		"badVersion": true, "reservedFlags": true, "badResident": true,
+		"hugeLen": true, "liarSorted": true, "nil": true, "zeros": true,
+		"ff": true,
+	}
+	for i, data := range sampleRecords() {
+		var rec Record
+		n, err := DecodeRecord(data, &rec)
+		if wantErr[names[i]] {
+			if err == nil {
+				t.Errorf("%s: accepted, want error", names[i])
+			}
+			if n != 0 {
+				t.Errorf("%s: consumed %d bytes on error", names[i], n)
+			}
+		} else if err != nil {
+			t.Errorf("%s: rejected: %v", names[i], err)
+		}
+	}
+}

@@ -165,6 +165,23 @@ type RunConfig struct {
 	RecordSeries bool
 	// Serve configures network serving for Serve; Run ignores it.
 	Serve *ServeConfig
+	// SpillDir and SpillCapacity enable the native backend's mmap'd
+	// cold spill tier and with it the adaptive placement controller:
+	// sealed window state beyond the HBM+DRAM budget degrades to the
+	// spill file instead of failing the run. SpillCapacity = 0 disables
+	// both; SpillDir empty uses the system temp directory. The
+	// simulated backend ignores them.
+	SpillDir      string
+	SpillCapacity int64
+	// PinnedKnob pins the demand-balance knob to a fixed
+	// {k_low, k_high} and disables the adaptive controller — the
+	// fixed-setting ablation the controller is benchmarked against
+	// (sbx-bench -exp adaptive). Native backend only.
+	PinnedKnob *[2]float64
+	// EvictHighWater/EvictLowWater bound the controller's eviction
+	// hysteresis (0 picks 0.85/0.70); see runtime.Config.
+	EvictHighWater float64
+	EvictLowWater  float64
 }
 
 // ServeConfig configures a network-serving execution (Serve): where to
@@ -208,8 +225,12 @@ type ServeConfig struct {
 	// MaxConns caps concurrently served ingest connections; handshakes
 	// past the cap are shed with an overloaded ack. Zero = unlimited.
 	// Independently of the cap, new connections are shed while mempool
-	// pressure exceeds runtime.ShedUtilization.
+	// pressure exceeds ShedUtilization.
 	MaxConns int
+	// ShedUtilization is the mempool pressure (worst memory-tier
+	// utilization) above which new connections are shed at the
+	// handshake (0 picks runtime.ShedUtilization, 0.98).
+	ShedUtilization float64
 	// Faults, when non-nil, wraps accepted ingest connections with the
 	// fault injector (chaos testing only).
 	Faults *faultinject.Injector
@@ -316,9 +337,20 @@ type Report struct {
 	// PeakWindowStateTotalBytes the combined high-water mark (the
 	// per-tier marks are independent maxima and may sum higher). Pane
 	// sharing keeps the sliding-window figures ~Size/Slide× below what
-	// per-window duplication holds.
-	PeakWindowStateBytes      [2]int64
+	// per-window duplication holds. Index 2 is the mmap'd spill tier,
+	// nonzero only when RunConfig.SpillCapacity enabled it.
+	PeakWindowStateBytes      [3]int64
 	PeakWindowStateTotalBytes int64
+	// Degradation-ladder figures of a native run with the spill tier
+	// enabled (all 0 otherwise): sealed runs and bytes evicted to the
+	// mmap'd spill file, loads bringing them back at window close, the
+	// adaptive placement controller's knob adjustments, and the
+	// 99th-percentile window close latency.
+	SpilledRuns   int64
+	SpilledBytes  int64
+	SpillLoads    int64
+	CtrlDecisions int64
+	CloseP99Ns    int64
 	// EmittedRecords counts result records at sinks.
 	EmittedRecords int64
 	// WindowsClosed and output delays (virtual seconds).
@@ -698,10 +730,15 @@ func runNative(p *Pipeline, cfg RunConfig) (Report, error) {
 		return Report{}, err
 	}
 	rcfg := runtime.Config{
-		Workers: cfg.Workers,
-		Machine: cfg.Machine,
-		Seed:    cfg.Seed,
-		Capture: capture != nil,
+		Workers:        cfg.Workers,
+		Machine:        cfg.Machine,
+		Seed:           cfg.Seed,
+		Capture:        capture != nil,
+		SpillDir:       cfg.SpillDir,
+		SpillCapacity:  cfg.SpillCapacity,
+		PinnedKnob:     cfg.PinnedKnob,
+		EvictHighWater: cfg.EvictHighWater,
+		EvictLowWater:  cfg.EvictLowWater,
 	}
 	rep, err := runtime.Run(plan, rcfg)
 	if err != nil {
@@ -727,6 +764,11 @@ func runNative(p *Pipeline, cfg RunConfig) (Report, error) {
 		SharedRunRefs:             rep.SharedRunRefs,
 		PeakWindowStateBytes:      rep.PeakWindowStateBytes,
 		PeakWindowStateTotalBytes: rep.PeakWindowStateTotalBytes,
+		SpilledRuns:               rep.SpilledRuns,
+		SpilledBytes:              rep.SpilledBytes,
+		SpillLoads:                rep.SpillLoads,
+		CtrlDecisions:             rep.CtrlDecisions,
+		CloseP99Ns:                rep.CloseP99Nanos,
 	}, nil
 }
 
@@ -890,10 +932,16 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 
 	store := netio.NewResultStore(sc.KeepWindows)
 	rcfg := runtime.Config{
-		Workers: cfg.Workers,
-		Machine: cfg.Machine,
-		Seed:    cfg.Seed,
-		Capture: capture != nil,
+		Workers:         cfg.Workers,
+		Machine:         cfg.Machine,
+		Seed:            cfg.Seed,
+		Capture:         capture != nil,
+		SpillDir:        cfg.SpillDir,
+		SpillCapacity:   cfg.SpillCapacity,
+		PinnedKnob:      cfg.PinnedKnob,
+		EvictHighWater:  cfg.EvictHighWater,
+		EvictLowWater:   cfg.EvictLowWater,
+		ShedUtilization: sc.ShedUtilization,
 		// Windows the checkpoint already sealed are rebuilt by replay
 		// but neither re-published nor re-captured — the checkpointed
 		// snapshot is the single durable copy.
@@ -971,7 +1019,7 @@ func Serve(p *Pipeline, cfg RunConfig) (*Server, error) {
 			return exec.DRAMUtilization() > runtime.BackpressureUtilization
 		},
 		ShedPressure: func() bool {
-			return exec.MemPressure() > runtime.ShedUtilization
+			return exec.MemPressure() > rcfg.ShedThreshold()
 		},
 	})
 	if err != nil {
@@ -1245,7 +1293,7 @@ func (s *Server) scrapeMetrics() netio.Metrics {
 		PerConn:           s.ingest.ConnCounters(),
 		WindowsPublished:  s.store.Published(),
 	}
-	for t := 0; t < 2; t++ {
+	for t := 0; t < memsim.NumTiers; t++ {
 		m.MemUsed[t] = mem.Tiers[t].Used
 		m.MemCapacity[t] = mem.Tiers[t].Capacity
 		m.MemUtilization[t] = mem.Tiers[t].Utilization
@@ -1253,6 +1301,12 @@ func (s *Server) scrapeMetrics() netio.Metrics {
 	m.WindowStateBytes = s.exec.WindowStateBytes()
 	m.PaneRuns, m.SharedRunRefs = s.exec.PaneStats()
 	m.KLow, m.KHigh = s.exec.KnobState()
+	if s.exec.SpillEnabled() {
+		m.SpillEnabled = true
+		m.SpilledRuns, m.SpilledBytes, m.SpillLoads, m.CtrlDecisions = s.exec.SpillStats()
+		m.SpillUsedBytes = s.exec.SpillUsed()
+		m.SpillCapacityBytes = mem.Tiers[memsim.Spill].Capacity
+	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		m.WALEnabled = true
@@ -1357,6 +1411,11 @@ func (s *Server) Shutdown() (Report, error) {
 		SharedRunRefs:             rep.SharedRunRefs,
 		PeakWindowStateBytes:      rep.PeakWindowStateBytes,
 		PeakWindowStateTotalBytes: rep.PeakWindowStateTotalBytes,
+		SpilledRuns:               rep.SpilledRuns,
+		SpilledBytes:              rep.SpilledBytes,
+		SpillLoads:                rep.SpillLoads,
+		CtrlDecisions:             rep.CtrlDecisions,
+		CloseP99Ns:                rep.CloseP99Nanos,
 		DroppedRecords:            ctr.DroppedRecords,
 		DecodeErrors:              ctr.DecodeErrors,
 		ChecksumErrors:            ctr.ChecksumErrors,
